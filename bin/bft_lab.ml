@@ -1,0 +1,198 @@
+(* bft_lab: command-line driver for the reproduction experiments.
+
+   Each subcommand regenerates one figure of the paper (or a piece of one)
+   and prints the measured table together with the paper anchors. *)
+
+open Cmdliner
+module E_micro = Bft_workloads.Experiments_micro
+module E_fs = Bft_workloads.Experiments_fs
+module Ablations = Bft_workloads.Ablations
+module Report = Bft_workloads.Report
+module Microbench = Bft_workloads.Microbench
+
+let quick_arg =
+  let doc = "Shrink sweep grids for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let print_sections sections = List.iter Report.print sections
+
+let figure_cmd name summary (run : ?quick:bool -> unit -> Report.section list) =
+  let doc = summary in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun quick -> print_sections (run ~quick ())) $ quick_arg)
+
+let latency_cmd =
+  let doc = "One latency point: BFT and NO-REP for a given op shape." in
+  let arg_size =
+    Arg.(value & opt int 8 & info [ "arg" ] ~doc:"Argument size in bytes.")
+  in
+  let res_size =
+    Arg.(value & opt int 8 & info [ "res" ] ~doc:"Result size in bytes.")
+  in
+  let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only op.") in
+  let run arg res read_only =
+    let b = Microbench.bft_latency ~arg ~res ~read_only () in
+    let n = Microbench.norep_latency ~arg ~res () in
+    Printf.printf "BFT    : %8.1f us (+/- %.1f, %d ops)\n" (b.Microbench.mean *. 1e6)
+      (b.Microbench.stddev *. 1e6) b.Microbench.ops;
+    Printf.printf "NO-REP : %8.1f us (+/- %.1f, %d ops)\n" (n.Microbench.mean *. 1e6)
+      (n.Microbench.stddev *. 1e6) n.Microbench.ops;
+    Printf.printf "slowdown: %.2f\n" (b.Microbench.mean /. n.Microbench.mean)
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc)
+    Term.(const run $ arg_size $ res_size $ read_only)
+
+let throughput_cmd =
+  let doc = "One throughput point: BFT for a given op shape and client count." in
+  let arg_size = Arg.(value & opt int 0 & info [ "arg" ] ~doc:"Argument bytes.") in
+  let res_size = Arg.(value & opt int 0 & info [ "res" ] ~doc:"Result bytes.") in
+  let clients = Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Client count.") in
+  let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only ops.") in
+  let run arg res clients read_only =
+    let t = Microbench.bft_throughput ~arg ~res ~read_only ~clients () in
+    Printf.printf "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
+      arg res clients t.Microbench.ops_per_sec t.Microbench.completed
+      t.Microbench.retransmissions
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc)
+    Term.(const run $ arg_size $ res_size $ clients $ read_only)
+
+let andrew_cmd =
+  let doc = "Run the modified Andrew benchmark on one backend." in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of tree copies.") in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        [ ("bfs", Bft_workloads.Nfs_rig.Bfs);
+          ("norep", Bft_workloads.Nfs_rig.Norep_fs);
+          ("nfs-std", Bft_workloads.Nfs_rig.Nfs_std_fs) ]
+    in
+    Arg.(
+      value
+      & opt backend_conv Bft_workloads.Nfs_rig.Bfs
+      & info [ "backend" ] ~doc:"Backend.")
+  in
+  let run n backend =
+    let elapsed, calls = E_fs.run_andrew ~n backend in
+    Printf.printf "Andrew%d on %s: %.1f s elapsed, %d NFS calls\n" n
+      (Bft_workloads.Nfs_rig.backend_name backend)
+      elapsed calls
+  in
+  Cmd.v (Cmd.info "andrew" ~doc) Term.(const run $ n $ backend)
+
+let chaos_cmd =
+  let doc =
+    "Long randomized fault-injection soak: random Byzantine behaviour, \
+     datagram loss and duplication, periodic proactive recovery; verifies \
+     agreement and client completion at the end."
+  in
+  let seconds =
+    Arg.(value & opt float 30.0 & info [ "seconds" ] ~doc:"Virtual seconds to run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run seconds seed =
+    let open Bft_core in
+    let rng = Bft_util.Rng.of_int seed in
+    let behaviors =
+      let target = Bft_util.Rng.int rng 4 in
+      match Bft_util.Rng.int rng 6 with
+      | 0 -> []
+      | 1 -> [ (target, Behavior.Mute) ]
+      | 2 -> [ (target, Behavior.Corrupt_replies) ]
+      | 3 -> [ (target, Behavior.Forge_auth) ]
+      | 4 -> [ (target, Behavior.Crash_at (Bft_util.Rng.float rng (seconds /. 4.0))) ]
+      | _ -> [ (target, Behavior.Two_faced) ]
+    in
+    let config = Config.make ~f:1 ~checkpoint_interval:16 ~log_window:32 () in
+    let cluster =
+      Cluster.create ~config ~seed ~behaviors
+        ~service:(fun _ -> Bft_services.Kv_store.service ())
+        ()
+    in
+    Bft_net.Network.set_faults (Cluster.network cluster)
+      {
+        Bft_net.Network.drop_probability = Bft_util.Rng.float rng 0.05;
+        duplicate_probability = Bft_util.Rng.float rng 0.03;
+        blocked = [];
+      };
+    let clients = List.init 4 (fun _ -> Cluster.add_client cluster) in
+    let completed = ref 0 in
+    List.iteri
+      (fun i client ->
+        let rec loop k =
+          Client.invoke client
+            (Bft_services.Kv_store.op_payload
+               (Bft_services.Kv_store.Put (Printf.sprintf "c%d-k%d" i k, "v")))
+            (fun _ ->
+              incr completed;
+              loop (k + 1))
+        in
+        loop 0)
+      clients;
+    (* a proactive recovery rotation on top *)
+    let sched =
+      Recovery_scheduler.start ~engine:(Cluster.engine cluster)
+        ~replicas:(Cluster.replicas cluster) ~period:(seconds /. 3.0)
+    in
+    Cluster.run ~until:seconds cluster;
+    Recovery_scheduler.stop sched;
+    (* agreement audit across correct replicas *)
+    let audits =
+      Cluster.correct_replicas cluster |> List.map Replica.executed_digests
+    in
+    let table = Hashtbl.create 64 in
+    let violations = ref 0 in
+    List.iter
+      (List.iter (fun (seq, digest) ->
+           match Hashtbl.find_opt table seq with
+           | None -> Hashtbl.replace table seq digest
+           | Some d ->
+             if not (Bft_crypto.Fingerprint.equal d digest) then incr violations))
+      audits;
+    Printf.printf
+      "chaos: %d ops completed, %d recoveries, %d agreement violations\n"
+      !completed
+      (Recovery_scheduler.recoveries_started sched)
+      !violations;
+    Array.iter (fun r -> print_string (Replica.dump r)) (Cluster.replicas cluster);
+    if !violations > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seconds $ seed)
+
+let all_cmd =
+  let doc = "Run every figure (the full benchmark suite)." in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const (fun quick ->
+          print_sections (E_micro.all ~quick ());
+          print_sections (E_fs.all ~quick ());
+          print_sections (Ablations.all ~quick ()))
+      $ quick_arg)
+
+let cmds =
+  [
+    figure_cmd "fig2" "Latency vs result size (Figure 2)." E_micro.fig2;
+    figure_cmd "fig3" "Latency with f=1 and f=2 (Figure 3)." E_micro.fig3;
+    figure_cmd "fig4" "Throughput for 0/0, 0/4, 4/0 (Figure 4)." E_micro.fig4;
+    figure_cmd "fig5" "Digest replies optimization (Figure 5)." E_micro.fig5;
+    figure_cmd "fig6" "Request batching optimization (Figure 6)." E_micro.fig6;
+    figure_cmd "fig7" "Separate request transmission (Figure 7)." E_micro.fig7;
+    figure_cmd "tentative" "Tentative execution (Section 4.4 text)."
+      E_micro.tentative;
+    figure_cmd "piggyback" "Piggybacked commits (Section 4.4 text)."
+      E_micro.piggyback;
+    figure_cmd "fig8" "Modified Andrew (Figure 8)." E_fs.fig8;
+    figure_cmd "fig9" "PostMark (Figure 9)." E_fs.fig9;
+    figure_cmd "ablations" "Beyond-the-paper ablations." Ablations.all;
+    latency_cmd;
+    throughput_cmd;
+    andrew_cmd;
+    chaos_cmd;
+    all_cmd;
+  ]
+
+let () =
+  let doc = "Reproduction of 'Byzantine Fault Tolerance Can Be Fast' (DSN'01)." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "bft_lab" ~doc) cmds))

@@ -1,0 +1,67 @@
+(* A replicated key-value store surviving a Byzantine replica.
+
+   One replica is configured to corrupt every reply it sends; because the
+   client requires f+1 matching committed replies (or 2f+1 tentative), the
+   corrupted answers are simply outvoted and every operation still returns
+   the correct result.
+
+   Run with: dune exec examples/kv_demo.exe *)
+
+open Bft_core
+module Kv = Bft_services.Kv_store
+
+let () =
+  let config = Config.make ~f:1 () in
+  let cluster =
+    Cluster.create ~config
+      ~behaviors:[ (2, Behavior.Corrupt_replies) ]
+      ~service:(fun _ -> Kv.service ())
+      ()
+  in
+  let client = Cluster.add_client cluster in
+
+  let show label outcome =
+    let text =
+      match Kv.result_of_payload outcome.Client.result with
+      | Kv.Value (Some v) -> Printf.sprintf "Some %S" v
+      | Kv.Value None -> "None"
+      | Kv.Stored -> "stored"
+      | Kv.Cas_result ok -> Printf.sprintf "cas %b" ok
+      | Kv.Error e -> "error: " ^ e
+    in
+    Printf.printf "%-34s -> %s\n" label text
+  in
+
+  let script =
+    [
+      ("put user:1 alice", Kv.Put ("user:1", "alice"), false);
+      ("put user:2 bob", Kv.Put ("user:2", "bob"), false);
+      ("get user:1 (read-only)", Kv.Get "user:1", true);
+      ( "cas user:2 bob->robert",
+        Kv.Cas { key = "user:2"; expected = Some "bob"; update = "robert" },
+        false );
+      ( "cas user:2 bob->eve (stale)",
+        Kv.Cas { key = "user:2"; expected = Some "bob"; update = "eve" },
+        false );
+      ("get user:2 (read-only)", Kv.Get "user:2", true);
+      ("delete user:1", Kv.Delete "user:1", false);
+      ("get user:1 (read-only)", Kv.Get "user:1", true);
+    ]
+  in
+  let rec play = function
+    | [] -> ()
+    | (label, op, read_only) :: rest ->
+      Client.invoke client ~read_only (Kv.op_payload op) (fun outcome ->
+          show label outcome;
+          play rest)
+  in
+  play script;
+  Cluster.run ~until:10.0 cluster;
+
+  Printf.printf "\nthe corrupt replica (2) kept lying, and it never mattered:\n";
+  Array.iter
+    (fun r ->
+      Printf.printf "  replica %d [%s]: executed=%d\n" (Replica.id r)
+        (Format.asprintf "%a" Behavior.pp (Replica.behavior r))
+        (Replica.last_executed r))
+    (Cluster.replicas cluster)

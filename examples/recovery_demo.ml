@@ -1,0 +1,51 @@
+(* Proactive recovery and state transfer.
+
+   A replica is recovered mid-run: it refreshes its session keys (so stolen
+   MACs become useless) and revalidates its state against a quorum of the
+   other replicas, adopting their stable checkpoint. Service and clients
+   never notice.
+
+   Run with: dune exec examples/recovery_demo.exe *)
+
+open Bft_core
+module Kv = Bft_services.Kv_store
+
+let () =
+  let config = Config.make ~f:1 ~checkpoint_interval:8 ~log_window:16 () in
+  let cluster = Cluster.create ~config ~service:(fun _ -> Kv.service ()) () in
+  let client = Cluster.add_client cluster in
+
+  (* Continuous writes so checkpoints keep forming. *)
+  let completed = ref 0 in
+  let rec loop remaining =
+    if remaining > 0 then begin
+      let op = Kv.Put (Printf.sprintf "key%d" remaining, "value") in
+      Client.invoke client (Kv.op_payload op) (fun _ ->
+          incr completed;
+          loop (remaining - 1))
+    end
+  in
+  loop 60;
+
+  (* Recover replica 3 at t = 10 ms. *)
+  Bft_sim.Engine.schedule_at (Cluster.engine cluster) 0.010 (fun () ->
+      Printf.printf "t=10ms: recovering replica 3 (key refresh + state fetch)\n";
+      Replica.start_recovery (Cluster.replica cluster 3));
+
+  Cluster.run ~until:30.0 cluster;
+  Printf.printf "completed %d/60 operations\n" !completed;
+  Array.iter
+    (fun r ->
+      let m = Replica.metrics r in
+      Printf.printf
+        "replica %d: executed=%d stable-checkpoint=%d recoveries=%d state-adopted=%d\n"
+        (Replica.id r) (Replica.last_executed r) (Replica.last_stable r)
+        (Metrics.count m "recovery.completed")
+        (Metrics.count m "state.adopted"))
+    (Cluster.replicas cluster);
+
+  (* The recovered replica converged on the same state. *)
+  let digest r = (Replica.service r).Service.state_digest () in
+  let reference = digest (Cluster.replica cluster 0) in
+  assert (Bft_crypto.Fingerprint.equal reference (digest (Cluster.replica cluster 3)));
+  print_endline "replica 3 state matches the quorum"

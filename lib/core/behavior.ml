@@ -1,0 +1,24 @@
+type t =
+  | Correct
+  | Crash_at of float
+  | Mute
+  | Two_faced
+  | Corrupt_replies
+  | Forge_auth
+  | Stale_view
+  | Slow of float
+
+let is_correct = function
+  | Correct | Slow _ -> true
+  | Crash_at _ | Mute | Two_faced | Corrupt_replies | Forge_auth | Stale_view ->
+    false
+
+let pp fmt = function
+  | Correct -> Format.pp_print_string fmt "correct"
+  | Crash_at t -> Format.fprintf fmt "crash@%.3fs" t
+  | Mute -> Format.pp_print_string fmt "mute"
+  | Two_faced -> Format.pp_print_string fmt "two-faced"
+  | Corrupt_replies -> Format.pp_print_string fmt "corrupt-replies"
+  | Forge_auth -> Format.pp_print_string fmt "forge-auth"
+  | Stale_view -> Format.pp_print_string fmt "stale-view"
+  | Slow s -> Format.fprintf fmt "slow+%.0fus" (s *. 1e6)

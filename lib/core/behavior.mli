@@ -1,0 +1,21 @@
+(** Byzantine behaviours injectable into a replica.
+
+    The paper assumes faulty nodes "may behave arbitrarily"; these are the
+    concrete arbitrary behaviours the test suite exercises against the
+    protocol's safety and liveness claims. *)
+
+type t =
+  | Correct
+  | Crash_at of float  (** fail-stop at a virtual time *)
+  | Mute  (** receives but never sends (silent Byzantine) *)
+  | Two_faced
+      (** as primary, sends conflicting pre-prepares to different backups
+          — the classic equivocation attack view changes must defeat *)
+  | Corrupt_replies  (** executes honestly but replies with garbage *)
+  | Forge_auth  (** emits messages with invalid MACs *)
+  | Stale_view  (** keeps broadcasting messages from an old view *)
+  | Slow of float  (** adds CPU seconds to every handled message *)
+
+val is_correct : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,239 @@
+open Types
+module Timer = Bft_sim.Timer
+module Engine = Bft_sim.Engine
+module Fingerprint = Bft_crypto.Fingerprint
+module Rng = Bft_util.Rng
+
+type outcome = {
+  result : Payload.t;
+  latency : float;
+  retries : int;
+  view : view;
+}
+
+type reply_record = {
+  rr_tentative : bool;
+  rr_digest : Fingerprint.t;
+  rr_full : Payload.t option;
+  rr_view : view;
+}
+
+type pending = {
+  ts : int64;
+  op : Payload.t;
+  mutable as_read_only : bool;  (** current transmission mode *)
+  mutable full_replies : bool;
+  replier : int;
+  callback : outcome -> unit;
+  started : float;
+  mutable retries : int;
+  replies : (replica_id, reply_record) Hashtbl.t;
+  mutable timer : Timer.t;
+}
+
+type t = {
+  config : Config.t;
+  transport : Transport.t;
+  replicas : Transport.peer array;
+  rng : Rng.t;
+  mutable next_ts : int64;
+  mutable pending : pending option;
+  last_views : int array;  (** last view reported by each replica *)
+  metrics : Metrics.t;
+}
+
+let id t = Transport.principal t.transport
+
+let metrics t = t.metrics
+
+let busy t = Option.is_some t.pending
+
+(* The (f+1)-th largest view reported by distinct replicas: at least one
+   correct replica is in (or past) that view, so f liars cannot push the
+   estimate forward. *)
+let view_estimate t =
+  let sorted = Array.copy t.last_views in
+  Array.sort (fun a b -> compare b a) sorted;
+  sorted.(t.config.Config.f)
+
+let primary_peer t = t.replicas.(primary_of_view ~n:t.config.Config.n (view_estimate t))
+
+let all_peers t = Array.to_list t.replicas
+
+let request_of t p =
+  {
+    Message.client = id t;
+    timestamp = p.ts;
+    read_only = p.as_read_only;
+    full_replies = p.full_replies;
+    replier = (if p.full_replies then -1 else p.replier);
+    op = p.op;
+  }
+
+let transmit t p =
+  let msg = Message.Request (request_of t p) in
+  let multicast_it =
+    p.full_replies
+    || (p.as_read_only && t.config.Config.read_only_optimization)
+    || (t.config.Config.separate_request_transmission
+       && Payload.size p.op > t.config.Config.inline_threshold)
+  in
+  if multicast_it then Transport.multicast t.transport ~dsts:(all_peers t) msg
+  else Transport.send t.transport ~dst:(primary_peer t) msg
+
+let rec arm_timer t p =
+  (* Exponential backoff with jitter so that a burst of clients that lost
+     datagrams together does not retransmit in lockstep. *)
+  let delay =
+    t.config.Config.client_retry_timeout
+    *. Float.min 16.0 (Float.pow 2.0 (float_of_int p.retries))
+    *. (1.0 +. (0.25 *. Rng.float t.rng 1.0))
+  in
+  p.timer <-
+    Timer.start (Transport.engine t.transport) ~delay (fun () ->
+        match t.pending with Some p' when p' == p -> retransmit t p | _ -> ())
+
+and retransmit t p =
+  Timer.cancel p.timer;
+  p.retries <- p.retries + 1;
+  Metrics.incr t.metrics "ops.retransmitted";
+  p.full_replies <- true;
+  if p.as_read_only then begin
+    (* Fall back to the regular read-write protocol (Section 3.1). *)
+    p.as_read_only <- false;
+    Hashtbl.reset p.replies
+  end;
+  transmit t p;
+  arm_timer t p
+
+let check_acceptance t p =
+  (* Group matching replies by result digest. *)
+  let by_digest = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ rr ->
+      let total, committed, full =
+        match Hashtbl.find_opt by_digest rr.rr_digest with
+        | Some x -> x
+        | None -> (0, 0, None)
+      in
+      let full = match full with Some _ -> full | None -> rr.rr_full in
+      Hashtbl.replace by_digest rr.rr_digest
+        (total + 1, (committed + if rr.rr_tentative then 0 else 1), full))
+    p.replies;
+  let f = t.config.Config.f in
+  let strong = (2 * f) + 1 and weak = f + 1 in
+  let winner = ref None in
+  Hashtbl.iter
+    (fun _digest (total, committed, full) ->
+      let enough =
+        if p.as_read_only && t.config.Config.read_only_optimization then
+          total >= strong
+        else committed >= weak || total >= strong
+      in
+      if enough then winner := Some full)
+    by_digest;
+  match !winner with
+  | None -> ()
+  | Some None ->
+    (* A quorum agrees on the digest but the designated replier's full
+       result has not arrived (yet). Per the paper, the client retransmits
+       "as usual" — on its timer — so a slow-but-correct replier costs
+       nothing and only a faulty one costs a timeout. *)
+    ()
+  | Some (Some result) ->
+    Timer.cancel p.timer;
+    t.pending <- None;
+    let view = Hashtbl.fold (fun _ rr acc -> Stdlib.max acc rr.rr_view) p.replies 0 in
+    Metrics.incr t.metrics "ops.completed";
+    let latency = Engine.now (Transport.engine t.transport) -. p.started in
+    Metrics.sample t.metrics "latency" latency;
+    p.callback { result; latency; retries = p.retries; view }
+
+let handle_reply t p (r : Message.reply) =
+  let replica = r.Message.replica in
+  if replica >= 0 && replica < t.config.Config.n then begin
+    t.last_views.(replica) <- Stdlib.max t.last_views.(replica) r.Message.view;
+    let record =
+      match r.Message.body with
+      | Message.Full_result payload ->
+        {
+          rr_tentative = r.Message.tentative;
+          rr_digest = Payload.digest payload;
+          rr_full = Some payload;
+          rr_view = r.Message.view;
+        }
+      | Message.Result_digest d ->
+        {
+          rr_tentative = r.Message.tentative;
+          rr_digest = d;
+          rr_full = None;
+          rr_view = r.Message.view;
+        }
+    in
+    (* A committed reply supersedes a tentative one from the same replica,
+       and a full result supersedes a digest-only reply (a designated
+       replier's retransmission must not be blocked by the digest we
+       already hold); otherwise the first reply wins. *)
+    (match Hashtbl.find_opt p.replies replica with
+    | Some old
+      when (old.rr_tentative && not record.rr_tentative)
+           || (old.rr_full = None && record.rr_full <> None) ->
+      Hashtbl.replace p.replies replica record
+    | Some _ -> ()
+    | None -> Hashtbl.add p.replies replica record);
+    check_acceptance t p
+  end
+
+let create ~config ~transport ~replicas ~rng ~dispatcher () =
+  let t =
+    {
+      config;
+      transport;
+      replicas;
+      rng;
+      next_ts = 0L;
+      pending = None;
+      last_views = Array.make config.Config.n 0;
+      metrics = Metrics.create ();
+    }
+  in
+  let sink ~wire ~prefix_len ~size env =
+    if Transport.check transport ~wire ~prefix_len ~size env then
+      match env.Message.msg with
+      | Message.Reply r -> (
+        match t.pending with
+        | Some p when r.Message.timestamp = p.ts -> handle_reply t p r
+        | _ -> Metrics.incr t.metrics "reply.stale")
+      | _ -> Metrics.incr t.metrics "unexpected"
+    else Metrics.incr t.metrics "auth.failed"
+  in
+  Dispatcher.register_client dispatcher (id t) sink;
+  t
+
+let invoke t ?(read_only = false) op callback =
+  if busy t then invalid_arg "Client.invoke: operation already outstanding";
+  t.next_ts <- Int64.add t.next_ts 1L;
+  let replier =
+    if t.config.Config.digest_replies then
+      (id t + Int64.to_int t.next_ts + Rng.int t.rng t.config.Config.n)
+      mod t.config.Config.n
+    else -1
+  in
+  let p =
+    {
+      ts = t.next_ts;
+      op;
+      as_read_only = read_only;
+      full_replies = false;
+      replier;
+      callback;
+      started = Engine.now (Transport.engine t.transport);
+      retries = 0;
+      replies = Hashtbl.create 8;
+      timer = Timer.never;
+    }
+  in
+  t.pending <- Some p;
+  Metrics.incr t.metrics "ops.started";
+  transmit t p;
+  arm_timer t p

@@ -1,0 +1,42 @@
+(** BFT client process.
+
+    A client invokes operations one at a time (closed loop, as in the
+    paper's benchmarks): it sends an authenticated REQUEST to the primary —
+    or multicasts it, for read-only operations, large operations under
+    separate request transmission, and retransmissions — then waits for
+    matching replies: [f + 1] for committed replies, [2f + 1] when replies
+    are tentative or the operation is read-only. With digest replies the
+    request designates one replica to send the full result; the others send
+    digests, and the client checks the full result against them.
+
+    Retransmissions ask every replica for a full reply; a read-only
+    operation that times out (e.g. because of concurrent writes) is
+    retransmitted as a regular read-write operation, as in the paper. *)
+
+type t
+
+type outcome = {
+  result : Payload.t;
+  latency : float;
+  retries : int;
+  view : Types.view;  (** view reported by the matching replies *)
+}
+
+val create :
+  config:Config.t ->
+  transport:Transport.t ->
+  replicas:Transport.peer array ->
+  rng:Bft_util.Rng.t ->
+  dispatcher:Dispatcher.t ->
+  unit ->
+  t
+
+val id : t -> Types.client_id
+
+val invoke : t -> ?read_only:bool -> Payload.t -> (outcome -> unit) -> unit
+(** Start an operation; the callback fires exactly once, on completion.
+    Raises [Invalid_argument] if an operation is already outstanding. *)
+
+val busy : t -> bool
+
+val metrics : t -> Metrics.t

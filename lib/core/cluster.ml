@@ -1,0 +1,140 @@
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Calibration = Bft_sim.Calibration
+module Network = Bft_net.Network
+module Keychain = Bft_crypto.Keychain
+module Rng = Bft_util.Rng
+
+type client_machine = {
+  cm_node : Network.node_id;
+  cm_dispatcher : Dispatcher.t;
+}
+
+type t = {
+  engine : Engine.t;
+  cal : Calibration.t;
+  network : Network.t;
+  config : Config.t;
+  master : string;
+  root_rng : Rng.t;
+  replicas : Replica.t array;
+  replica_peers : Transport.peer array;
+  client_machines : client_machine array;
+  client_peers : (Types.client_id, Transport.peer) Hashtbl.t;
+  mutable clients : Client.t list;  (* newest first *)
+  mutable next_client : int;
+}
+
+let engine t = t.engine
+
+let network t = t.network
+
+let config t = t.config
+
+let calibration t = t.cal
+
+let replicas t = t.replicas
+
+let replica t i = t.replicas.(i)
+
+let clients t = List.rev t.clients
+
+let now t = Engine.now t.engine
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+let rng t label = Rng.split t.root_rng label
+
+let correct_replicas t =
+  Array.to_list t.replicas
+  |> List.filter (fun r -> Behavior.is_correct (Replica.behavior r))
+
+let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
+    ?(client_machine_speed = 1.0) ?(behaviors = []) ?(recv_buffer = 0.02)
+    ~config ~service () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+  let root_rng = Rng.of_int seed in
+  let engine = Engine.create () in
+  let network = Network.create engine cal ~rng:(Rng.split root_rng "network") in
+  let n = config.Config.n in
+  let master = Printf.sprintf "cluster-master-secret-%d" seed in
+  (* Replica machines. *)
+  let replica_nodes =
+    Array.init n (fun i ->
+        let cpu = Cpu.create engine ~name:(Printf.sprintf "replica%d" i) () in
+        Network.add_node network ~cpu ~recv_buffer
+          ~name:(Printf.sprintf "replica%d" i) ())
+  in
+  let replica_peers =
+    Array.init n (fun i -> { Transport.principal = i; node = replica_nodes.(i) })
+  in
+  (* Client machines (the paper used 5, two of them 700 MHz). *)
+  let client_machines =
+    Array.init (Stdlib.max 1 client_machines) (fun i ->
+        let cpu =
+          Cpu.create engine ~speed:client_machine_speed
+            ~name:(Printf.sprintf "clientm%d" i) ()
+        in
+        let node =
+          Network.add_node network ~cpu ~recv_buffer
+            ~name:(Printf.sprintf "clientm%d" i) ()
+        in
+        { cm_node = node; cm_dispatcher = Dispatcher.install network node })
+  in
+  let client_peers = Hashtbl.create 64 in
+  let lookup_client c = Hashtbl.find_opt client_peers c in
+  let replicas =
+    Array.init n (fun i ->
+        let keychain = Keychain.create ~master ~self:i ~replica_bound:n () in
+        let transport =
+          Transport.create network ~keychain ~node:replica_nodes.(i)
+            ~public_key_signatures:config.Config.public_key_signatures ()
+        in
+        let dispatcher = Dispatcher.install network replica_nodes.(i) in
+        let behavior =
+          Option.value ~default:Behavior.Correct (List.assoc_opt i behaviors)
+        in
+        Replica.create ~config ~transport ~replicas:replica_peers ~lookup_client
+          ~service:(service i)
+          ~rng:(Rng.split root_rng (Printf.sprintf "replica%d" i))
+          ~dispatcher ~behavior ())
+  in
+  {
+    engine;
+    cal;
+    network;
+    config;
+    master;
+    root_rng;
+    replicas;
+    replica_peers;
+    client_machines;
+    client_peers;
+    clients = [];
+    next_client = 0;
+  }
+
+let add_client t =
+  let idx = t.next_client in
+  t.next_client <- idx + 1;
+  let principal = t.config.Config.n + idx in
+  let machine = t.client_machines.(idx mod Array.length t.client_machines) in
+  Hashtbl.replace t.client_peers principal
+    { Transport.principal; node = machine.cm_node };
+  let keychain =
+    Keychain.create ~master:t.master ~self:principal
+      ~replica_bound:t.config.Config.n ()
+  in
+  let transport =
+    Transport.create t.network ~keychain ~node:machine.cm_node
+      ~public_key_signatures:t.config.Config.public_key_signatures ()
+  in
+  let client =
+    Client.create ~config:t.config ~transport ~replicas:t.replica_peers
+      ~rng:(Rng.split t.root_rng (Printf.sprintf "client%d" principal))
+      ~dispatcher:machine.cm_dispatcher ()
+  in
+  t.clients <- client :: t.clients;
+  client

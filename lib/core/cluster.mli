@@ -1,0 +1,51 @@
+(** Assembly of a complete simulated deployment, mirroring the paper's
+    testbed: [n = 3f+1] replica machines plus a set of client machines
+    (five in the throughput experiments), all on one switched 100 Mb/s
+    Ethernet, every principal sharing pairwise MAC keys.
+
+    Each replica gets its own instance of the service (from the factory),
+    its own keychain and its own machine. Client processes are placed on
+    client machines round-robin, as in the paper's "client processes were
+    evenly distributed over 5 client machines". *)
+
+type t
+
+val create :
+  ?cal:Bft_sim.Calibration.t ->
+  ?seed:int ->
+  ?client_machines:int ->
+  ?client_machine_speed:float ->
+  ?behaviors:(Types.replica_id * Behavior.t) list ->
+  ?recv_buffer:float ->
+  config:Config.t ->
+  service:(Types.replica_id -> Service.t) ->
+  unit ->
+  t
+
+val engine : t -> Bft_sim.Engine.t
+
+val network : t -> Bft_net.Network.t
+
+val config : t -> Config.t
+
+val calibration : t -> Bft_sim.Calibration.t
+
+val replicas : t -> Replica.t array
+
+val replica : t -> Types.replica_id -> Replica.t
+
+val add_client : t -> Client.t
+(** Create the next client process on the next client machine. *)
+
+val clients : t -> Client.t list
+(** In creation order. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+val now : t -> float
+
+val correct_replicas : t -> Replica.t list
+(** Replicas whose injected behaviour is non-Byzantine. *)
+
+val rng : t -> string -> Bft_util.Rng.t
+(** Derive a labelled RNG from the cluster seed (for workloads). *)

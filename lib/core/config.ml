@@ -1,0 +1,61 @@
+type t = {
+  f : int;
+  n : int;
+  checkpoint_interval : int;
+  log_window : int;
+  batch_window : int;
+  max_batch_bytes : int;
+  max_batch_requests : int;
+  inline_threshold : int;
+  view_change_timeout : float;
+  client_retry_timeout : float;
+  commit_flush_delay : float;
+  checkpoint_state_cap : int;
+  digest_replies : bool;
+  tentative_execution : bool;
+  piggyback_commits : bool;
+  read_only_optimization : bool;
+  batching : bool;
+  separate_request_transmission : bool;
+  public_key_signatures : bool;
+}
+
+let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
+    ?(max_batch_bytes = 4096) ?(max_batch_requests = 16) ?(inline_threshold = 255)
+    ?(view_change_timeout = 0.25) ?(client_retry_timeout = 0.15)
+    ?(commit_flush_delay = 0.002) ?(checkpoint_state_cap = 1 lsl 30)
+    ?(digest_replies = true) ?(tentative_execution = true)
+    ?(piggyback_commits = false) ?(read_only_optimization = true)
+    ?(batching = true) ?(separate_request_transmission = true)
+    ?(public_key_signatures = false) ~f () =
+  {
+    f;
+    n = (3 * f) + 1;
+    checkpoint_interval;
+    log_window;
+    batch_window;
+    max_batch_bytes;
+    max_batch_requests;
+    inline_threshold;
+    view_change_timeout;
+    client_retry_timeout;
+    commit_flush_delay;
+    checkpoint_state_cap;
+    digest_replies;
+    tentative_execution;
+    piggyback_commits;
+    read_only_optimization;
+    batching;
+    separate_request_transmission;
+    public_key_signatures;
+  }
+
+let validate t =
+  if t.f < 1 then Error "f must be at least 1"
+  else if t.n <> (3 * t.f) + 1 then Error "n must be 3f+1"
+  else if t.checkpoint_interval < 1 then Error "checkpoint interval must be positive"
+  else if t.log_window < 2 * t.checkpoint_interval then
+    Error "log window must cover at least two checkpoint intervals"
+  else if t.batch_window < 1 then Error "batch window must be positive"
+  else if t.max_batch_requests < 1 then Error "batch must allow a request"
+  else Ok ()

@@ -1,0 +1,60 @@
+(** Protocol configuration: replication degree, windows and the six
+    optimizations of Section 3.1, each independently toggleable so the
+    benchmark harness can reproduce the Section 4.4 ablations. *)
+
+type t = {
+  f : int;  (** tolerated faults; [n = 3f + 1] *)
+  n : int;
+  checkpoint_interval : int;  (** K: checkpoint every K sequence numbers *)
+  log_window : int;  (** L: high watermark is [h + L] *)
+  batch_window : int;  (** W: batches in flight before queueing *)
+  max_batch_bytes : int;  (** bound on the summed size of a batch *)
+  max_batch_requests : int;
+  inline_threshold : int;
+      (** requests larger than this use separate transmission (255 B) *)
+  view_change_timeout : float;
+  client_retry_timeout : float;
+  commit_flush_delay : float;
+      (** piggybacked commits are flushed after this idle delay *)
+  checkpoint_state_cap : int;
+      (** cap on modeled snapshot bytes shipped by state transfer *)
+  (* --- optimizations (Section 3.1) --- *)
+  digest_replies : bool;
+  tentative_execution : bool;
+  piggyback_commits : bool;
+  read_only_optimization : bool;
+  batching : bool;
+  separate_request_transmission : bool;
+  (* --- ablations beyond the paper --- *)
+  public_key_signatures : bool;
+      (** authenticate protocol messages with simulated public-key
+          signatures instead of MAC vectors (the Rampart/SecureRing-era
+          design the paper credits its speed against) *)
+}
+
+val make :
+  ?checkpoint_interval:int ->
+  ?log_window:int ->
+  ?batch_window:int ->
+  ?max_batch_bytes:int ->
+  ?max_batch_requests:int ->
+  ?inline_threshold:int ->
+  ?view_change_timeout:float ->
+  ?client_retry_timeout:float ->
+  ?commit_flush_delay:float ->
+  ?checkpoint_state_cap:int ->
+  ?digest_replies:bool ->
+  ?tentative_execution:bool ->
+  ?piggyback_commits:bool ->
+  ?read_only_optimization:bool ->
+  ?batching:bool ->
+  ?separate_request_transmission:bool ->
+  ?public_key_signatures:bool ->
+  f:int ->
+  unit ->
+  t
+(** Defaults match the BFT library as benchmarked in the paper: all
+    optimizations on except piggybacked commits (the one optimization the
+    paper measured but did not ship), K = 128, L = 256. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,35 @@
+module Network = Bft_net.Network
+
+type sink = wire:string -> prefix_len:int -> size:int -> Message.envelope -> unit
+
+type t = {
+  clients : (Types.client_id, sink) Hashtbl.t;
+  mutable default : sink option;
+  mutable malformed_count : int;
+}
+
+let install net node =
+  let t = { clients = Hashtbl.create 8; default = None; malformed_count = 0 } in
+  Network.set_handler net node (fun ~src:_ ~wire ~size ->
+      match Message.decode_envelope_ex wire with
+      | exception Bft_util.Codec.Decode_error _ ->
+        t.malformed_count <- t.malformed_count + 1
+      | env, prefix_len ->
+        let sink =
+          match env.Message.msg with
+          | Message.Reply r -> (
+            match Hashtbl.find_opt t.clients r.Message.client with
+            | Some sink -> Some sink
+            | None -> t.default)
+          | _ -> t.default
+        in
+        (match sink with
+        | Some sink -> sink ~wire ~prefix_len ~size env
+        | None -> t.malformed_count <- t.malformed_count + 1));
+  t
+
+let register_client t id sink = Hashtbl.replace t.clients id sink
+
+let register_default t sink = t.default <- Some sink
+
+let malformed t = t.malformed_count

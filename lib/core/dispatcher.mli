@@ -1,0 +1,22 @@
+(** Per-machine demultiplexer.
+
+    A simulated machine hosts one or more principals (a replica, or several
+    client processes, as in the paper's five client machines running up to
+    200 client processes). The dispatcher decodes each incoming datagram
+    and routes it: REPLY messages go to the client process they name,
+    everything else goes to the machine's default principal (its replica or
+    server). Malformed datagrams are counted and dropped, as a real server
+    would drop garbage UDP packets. *)
+
+type sink = wire:string -> prefix_len:int -> size:int -> Message.envelope -> unit
+
+type t
+
+val install : Bft_net.Network.t -> Bft_net.Network.node_id -> t
+
+val register_client : t -> Types.client_id -> sink -> unit
+
+val register_default : t -> sink -> unit
+
+val malformed : t -> int
+(** Datagrams dropped because they failed to decode. *)

@@ -1,0 +1,112 @@
+open Types
+module Fingerprint = Bft_crypto.Fingerprint
+
+type slot = {
+  seq : seqno;
+  mutable pre_prepare : (view * Message.batch_entry list) option;
+  mutable pp_digest : Fingerprint.t option;
+  mutable missing_bodies : Fingerprint.t list;
+  prepares : (replica_id, view * Fingerprint.t) Hashtbl.t;
+  commits : (replica_id, view * Fingerprint.t) Hashtbl.t;
+  mutable prepared_at : view option;
+  mutable own_prepare_sent : bool;
+  mutable own_commit_sent : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+  mutable finalized : bool;
+  mutable undos : Service.undo list;
+}
+
+type t = {
+  mutable low : seqno;
+  window : int;
+  slots : (seqno, slot) Hashtbl.t;
+}
+
+let create ~low ~window () = { low; window; slots = Hashtbl.create 64 }
+
+let low_watermark t = t.low
+
+let high_watermark t = t.low + t.window
+
+let in_window t seq = seq > t.low && seq <= t.low + t.window
+
+let find t seq = Hashtbl.find_opt t.slots seq
+
+let new_slot seq =
+  {
+    seq;
+    pre_prepare = None;
+    pp_digest = None;
+    missing_bodies = [];
+    prepares = Hashtbl.create 8;
+    commits = Hashtbl.create 8;
+    prepared_at = None;
+    own_prepare_sent = false;
+    own_commit_sent = false;
+    committed = false;
+    executed = false;
+    finalized = false;
+    undos = [];
+  }
+
+let get t seq =
+  if not (in_window t seq) then
+    invalid_arg (Printf.sprintf "Log.get: seq %d outside (%d, %d]" seq t.low
+                   (t.low + t.window));
+  match Hashtbl.find_opt t.slots seq with
+  | Some slot -> slot
+  | None ->
+    let slot = new_slot seq in
+    Hashtbl.replace t.slots seq slot;
+    slot
+
+let truncate t ~new_low =
+  if new_low > t.low then begin
+    Hashtbl.iter
+      (fun seq _ -> if seq <= new_low then Hashtbl.remove t.slots seq)
+      (Hashtbl.copy t.slots);
+    t.low <- new_low
+  end
+
+let iter t f =
+  let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.slots [] in
+  List.iter (fun seq -> f (Hashtbl.find t.slots seq)) (List.sort compare seqs)
+
+(* A replica may re-send a prepare for the same slot in a later view; the
+   latest view wins so certificate counting stays per-view. *)
+let add_latest table replica view digest =
+  match Hashtbl.find_opt table replica with
+  | Some (v, _) when v > view -> ()
+  | _ -> Hashtbl.replace table replica (view, digest)
+
+let add_prepare slot replica view digest = add_latest slot.prepares replica view digest
+
+let add_commit slot replica view digest = add_latest slot.commits replica view digest
+
+let count_matching table view digest =
+  Hashtbl.fold
+    (fun _ (v, d) acc ->
+      if v = view && Fingerprint.equal d digest then acc + 1 else acc)
+    table 0
+
+let prepare_count slot view digest = count_matching slot.prepares view digest
+
+let commit_count slot view digest = count_matching slot.commits view digest
+
+let is_prepared slot ~f view =
+  match (slot.pre_prepare, slot.pp_digest) with
+  | Some (v, _), Some digest when v = view ->
+    slot.missing_bodies = [] && prepare_count slot view digest >= 2 * f
+  | _ -> false
+
+(* A certificate of 2f+1 matching commits implies at least f+1 correct
+   replicas prepared this digest, so no conflicting batch can have prepared
+   at this sequence number: the local prepare quorum is not required (and
+   insisting on it can deadlock a replica whose prepares were lost while
+   everyone else moved on). The batch body must still be present. *)
+let is_committed slot ~f view =
+  match (slot.pre_prepare, slot.pp_digest) with
+  | Some _, Some digest ->
+    slot.missing_bodies = [] && commit_count slot view digest >= (2 * f) + 1
+  | _ -> false

@@ -1,0 +1,60 @@
+module Fingerprint = Bft_crypto.Fingerprint
+
+let page_size = 4096
+
+let paginate (p : Payload.t) =
+  let data_len = String.length p.Payload.data in
+  let total = data_len + p.Payload.pad in
+  if total = 0 then [| Payload.empty |]
+  else begin
+    let count = (total + page_size - 1) / page_size in
+    Array.init count (fun i ->
+        let off = i * page_size in
+        let len = Stdlib.min page_size (total - off) in
+        (* Bytes of this page that are real data vs modeled padding. *)
+        let real = Stdlib.max 0 (Stdlib.min len (data_len - off)) in
+        let data = if real > 0 then String.sub p.Payload.data off real else "" in
+        { Payload.data; pad = len - real })
+  end
+
+let reassemble pages =
+  let buffer = Buffer.create 4096 in
+  let pad = ref 0 in
+  Array.iter
+    (fun (p : Payload.t) ->
+      (* Data never follows padding within a snapshot: padding only ever
+         accumulates on the tail pages. *)
+      assert (p.Payload.pad = 0 || String.length p.Payload.data = 0 || !pad = 0);
+      Buffer.add_string buffer p.Payload.data;
+      pad := !pad + p.Payload.pad)
+    pages;
+  { Payload.data = Buffer.contents buffer; pad = !pad }
+
+let page_digests pages = Array.map Payload.digest pages
+
+let rec reduce level =
+  match Array.length level with
+  | 0 -> Fingerprint.of_string "merkle-empty"
+  | 1 -> level.(0)
+  | n ->
+    let next =
+      Array.init
+        ((n + 1) / 2)
+        (fun i ->
+          if (2 * i) + 1 < n then
+            Fingerprint.of_parts [ "node"; level.(2 * i); level.((2 * i) + 1) ]
+          else level.(2 * i))
+    in
+    reduce next
+
+let root digests =
+  reduce (Array.map (fun d -> Fingerprint.of_parts [ "leaf"; d ]) digests)
+
+let diff ~mine ~theirs =
+  let missing = ref [] in
+  Array.iteri
+    (fun i d ->
+      let have = i < Array.length mine && Fingerprint.equal mine.(i) d in
+      if not have then missing := i :: !missing)
+    theirs;
+  List.rev !missing

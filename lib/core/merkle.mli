@@ -1,0 +1,29 @@
+(** Merkle tree over fixed-size state pages.
+
+    BFT transfers state hierarchically: a replica that falls behind first
+    fetches the digests of the state partitions and then only the pages
+    whose digests differ from what it already holds. This module provides
+    the page-level machinery: pagination of a snapshot payload, per-page
+    digests, the tree root that commits to all of them, and the diff. *)
+
+module Fingerprint = Bft_crypto.Fingerprint
+
+val page_size : int
+(** 4096 modeled bytes per page. *)
+
+val paginate : Payload.t -> Payload.t array
+(** Split a snapshot into pages; the modeled padding rides on the final
+    page. [reassemble (paginate p) = p]. The empty payload yields one empty
+    page so every state has at least one digest. *)
+
+val reassemble : Payload.t array -> Payload.t
+
+val page_digests : Payload.t array -> Fingerprint.t array
+
+val root : Fingerprint.t array -> Fingerprint.t
+(** Root of the binary Merkle tree over the page digests (domain-separated
+    inner nodes, odd nodes promoted). *)
+
+val diff : mine:Fingerprint.t array -> theirs:Fingerprint.t array -> int list
+(** Indexes of [theirs] whose digest is absent at that index in [mine]
+    (differing content, or beyond my last page), ascending. *)

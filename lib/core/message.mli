@@ -1,0 +1,173 @@
+(** Protocol messages and their wire format.
+
+    Naming follows the paper: REQUEST, PRE-PREPARE, PREPARE, COMMIT, REPLY,
+    CHECKPOINT, VIEW-CHANGE, NEW-VIEW, plus the state-transfer and
+    key-refresh messages. Every message travels in an {!envelope} that
+    carries the sender, an optional list of piggybacked COMMITs (the
+    Section 3.1 optimization), and a MAC-vector authenticator over the
+    message bytes. *)
+
+open Types
+
+module Fingerprint = Bft_crypto.Fingerprint
+
+type request = {
+  client : client_id;
+  timestamp : int64;  (** per-client monotonic counter *)
+  read_only : bool;
+  full_replies : bool;
+      (** set on retransmissions: all replicas reply with the full result *)
+  replier : replica_id;  (** designated replier for the digest-replies opt *)
+  op : Payload.t;
+}
+
+(** One slot of a pre-prepare batch: the request inline, just its digest
+    (separate request transmission), or the null request used to fill
+    sequence-number gaps after a view change. *)
+type batch_entry =
+  | Full of request
+  | Summary of Fingerprint.t
+  | Null_entry
+
+type pre_prepare = { view : view; seq : seqno; entries : batch_entry list }
+
+type prepare = { view : view; seq : seqno; digest : Fingerprint.t; replica : replica_id }
+
+type commit = { view : view; seq : seqno; digest : Fingerprint.t; replica : replica_id }
+
+type reply_body = Full_result of Payload.t | Result_digest of Fingerprint.t
+
+type reply = {
+  view : view;
+  timestamp : int64;
+  client : client_id;
+  replica : replica_id;
+  tentative : bool;
+  epoch : int;
+      (** the replica's current inbound key epoch, so clients re-key after
+          a proactive recovery *)
+  body : reply_body;
+}
+
+type checkpoint_msg = { seq : seqno; digest : Fingerprint.t; replica : replica_id }
+
+(** Certificate summary carried in VIEW-CHANGE: the request batch [digest]
+    prepared at [seq] in [view]. *)
+type prepared_proof = { view : view; seq : seqno; digest : Fingerprint.t }
+
+type view_change = {
+  next_view : view;
+  last_stable : seqno;
+  stable_digest : Fingerprint.t;
+  prepared : prepared_proof list;
+  replica : replica_id;
+}
+
+type new_view_entry = { seq : seqno; digest : Fingerprint.t; entries : batch_entry list }
+
+type new_view = {
+  view : view;
+  supporters : replica_id list;
+      (** replicas whose VIEW-CHANGE messages back this NEW-VIEW *)
+  min_s : seqno;
+  nv_entries : new_view_entry list;
+}
+
+type get_state = { from_seq : seqno; replica : replica_id }
+
+(** Hierarchical state transfer (BFT's state partitions): the responder
+    first ships the per-page digests; the fetcher then requests only the
+    pages it lacks. *)
+type state_meta = {
+  sm_seq : seqno;
+  sm_state_digest : Fingerprint.t;
+  sm_page_digests : Fingerprint.t list;
+  sm_view : view;
+}
+
+type get_pages = { gp_seq : seqno; gp_indexes : int list; gp_replica : replica_id }
+
+type pages_resp = { pg_seq : seqno; pg_pages : (int * Payload.t) list }
+
+type state_resp = {
+  seq : seqno;
+  state_digest : Fingerprint.t;
+  snapshot : Payload.t;
+  reply_view : view;
+}
+
+type fetch_batch = { fb_view : view; fb_seq : seqno; fb_replica : replica_id }
+
+type new_key = { nk_replica : replica_id; epoch : int }
+
+(** Periodic status summary (PBFT's status messages): lets peers retransmit
+    exactly what a straggler lacks. *)
+type status = {
+  st_view : view;
+  st_stable : seqno;
+  st_committed : seqno;
+  st_vc : bool;  (** sender is waiting out a view change *)
+  st_replica : replica_id;
+}
+
+type t =
+  | Request of request
+  | Pre_prepare of pre_prepare
+  | Prepare of prepare
+  | Commit of commit
+  | Reply of reply
+  | Checkpoint of checkpoint_msg
+  | View_change of view_change
+  | New_view of new_view
+  | Get_state of get_state
+  | State of state_resp
+  | State_meta of state_meta
+  | Get_pages of get_pages
+  | Pages of pages_resp
+  | Fetch_batch of fetch_batch
+  | New_key of new_key
+  | Status of status
+
+type envelope = {
+  sender : int;  (** principal id: replica or client *)
+  msg : t;
+  commits : commit list;  (** piggybacked COMMITs *)
+  auth : Bft_crypto.Auth.t;
+}
+
+val request_digest : request -> Fingerprint.t
+(** D(m) over the canonical encoding of the request. *)
+
+val entry_digest : batch_entry -> Fingerprint.t
+
+val batch_digest : batch_entry list -> Fingerprint.t
+(** The [d] bound by PREPARE and COMMIT. *)
+
+val encode_body : t -> string
+(** Canonical encoding of the message (without envelope framing). *)
+
+val padding : t -> int
+(** Modeled zero-padding bytes carried by payloads inside the message. *)
+
+val encode_prefix : sender:int -> msg:t -> commits:commit list -> string
+(** Envelope bytes before the authenticator — what the authenticator
+    covers. *)
+
+val append_auth : string -> Bft_crypto.Auth.t -> string
+(** Complete an envelope from its prefix. *)
+
+val encode_envelope : envelope -> string
+
+val decode_envelope : string -> envelope
+(** Raises [Bft_util.Codec.Decode_error] on malformed input. *)
+
+val decode_envelope_ex : string -> envelope * int
+(** Also returns the prefix length, so receivers can verify the
+    authenticator against the exact received bytes. *)
+
+val envelope_size : envelope -> string -> int
+(** Modeled datagram size for an encoded envelope: wire length plus
+    payload padding. *)
+
+val tag_name : t -> string
+(** For logs and per-message-type counters. *)

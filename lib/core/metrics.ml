@@ -1,0 +1,37 @@
+module Stats = Bft_util.Stats
+
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  stats : (string, Stats.t) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 32; stats = Hashtbl.create 8 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counts name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counts name (ref by)
+
+let count t name =
+  match Hashtbl.find_opt t.counts name with Some r -> !r | None -> 0
+
+let sample t name v =
+  let s =
+    match Hashtbl.find_opt t.stats name with
+    | Some s -> s
+    | None ->
+      let s = Stats.create () in
+      Hashtbl.replace t.stats name s;
+      s
+  in
+  Stats.add s v
+
+let samples t name = Hashtbl.find_opt t.stats name
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
+  |> List.sort compare
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.stats

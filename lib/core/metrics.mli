@@ -1,0 +1,18 @@
+(** Lightweight named counters and samples for protocol instrumentation. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+
+val count : t -> string -> int
+
+val sample : t -> string -> float -> unit
+
+val samples : t -> string -> Bft_util.Stats.t option
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val reset : t -> unit

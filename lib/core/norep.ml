@@ -1,0 +1,188 @@
+module Network = Bft_net.Network
+module Engine = Bft_sim.Engine
+module Timer = Bft_sim.Timer
+module Cpu = Bft_sim.Cpu
+module Auth = Bft_crypto.Auth
+
+let no_auth = { Auth.nonce = 0L; entries = [] }
+
+let encode msg =
+  let env = { Message.sender = 0; msg; commits = []; auth = no_auth } in
+  let wire = Message.encode_envelope env in
+  (wire, Message.envelope_size env wire)
+
+module Server = struct
+  type t = {
+    network : Network.t;
+    node : Network.node_id;
+    service : Service.t;
+    metrics : Metrics.t;
+  }
+
+  let node t = t.node
+
+  let metrics t = t.metrics
+
+  let handle t ~src (r : Message.request) =
+    Cpu.charge (Network.node_cpu t.network t.node)
+      (t.service.Service.execute_cost r.Message.op);
+    let result, _undo =
+      t.service.Service.execute ~client:r.Message.client ~op:r.Message.op
+    in
+    Metrics.incr t.metrics "ops.executed";
+    let reply =
+      {
+        Message.view = 0;
+        timestamp = r.Message.timestamp;
+        client = r.Message.client;
+        replica = 0;
+        tentative = false;
+        epoch = 0;
+        body = Message.Full_result result;
+      }
+    in
+    let wire, size = encode (Message.Reply reply) in
+    Network.send t.network ~src:t.node ~dst:src ~size wire
+
+  let create ~network ~node ~service () =
+    let t = { network; node; service; metrics = Metrics.create () } in
+    Network.set_handler network node (fun ~src ~wire ~size ->
+        ignore size;
+        match Message.decode_envelope wire with
+        | { Message.msg = Message.Request r; _ } -> handle t ~src r
+        | _ | (exception Bft_util.Codec.Decode_error _) ->
+          Metrics.incr t.metrics "malformed");
+    t
+end
+
+module Client = struct
+  type outcome = { result : Payload.t; latency : float; retries : int }
+
+  type pending = {
+    ts : int64;
+    op : Payload.t;
+    callback : outcome -> unit;
+    started : float;
+    mutable retries : int;
+    mutable timer : Timer.t;
+  }
+
+  type t = {
+    network : Network.t;
+    node : Network.node_id;
+    id : Types.client_id;
+    server : Network.node_id;
+    retry_timeout : float option;
+    mutable next_ts : int64;
+    mutable pending : pending option;
+    metrics : Metrics.t;
+  }
+
+  (* One dispatcher per (network, client machine), shared by all clients on
+     that machine. Keyed by the network uid so that the many simulations a
+     benchmark process runs never alias each other. *)
+  let dispatchers : (int * Network.node_id, (Types.client_id, t) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+
+  let id t = t.id
+
+  let busy t = Option.is_some t.pending
+
+  let metrics t = t.metrics
+
+  let complete t p (result : Payload.t) =
+    Timer.cancel p.timer;
+    t.pending <- None;
+    Metrics.incr t.metrics "ops.completed";
+    let latency = Engine.now (Network.engine t.network) -. p.started in
+    Metrics.sample t.metrics "latency" latency;
+    p.callback { result; latency; retries = p.retries }
+
+  let on_reply t (r : Message.reply) =
+    match t.pending with
+    | Some p when r.Message.timestamp = p.ts -> (
+      match r.Message.body with
+      | Message.Full_result result -> complete t p result
+      | Message.Result_digest _ -> ())
+    | _ -> Metrics.incr t.metrics "reply.stale"
+
+  let send_request t p =
+    let r =
+      {
+        Message.client = t.id;
+        timestamp = p.ts;
+        read_only = false;
+        full_replies = true;
+        replier = -1;
+        op = p.op;
+      }
+    in
+    let wire, size = encode (Message.Request r) in
+    Network.send t.network ~src:t.node ~dst:t.server ~size wire
+
+  let rec arm_timer t p =
+    match t.retry_timeout with
+    | None -> ()
+    | Some delay ->
+      p.timer <-
+        Timer.start (Network.engine t.network) ~delay (fun () ->
+            match t.pending with
+            | Some p' when p' == p ->
+              p.retries <- p.retries + 1;
+              Metrics.incr t.metrics "ops.retransmitted";
+              send_request t p;
+              arm_timer t p
+            | _ -> ())
+
+  let invoke t op callback =
+    if busy t then invalid_arg "Norep.Client.invoke: operation outstanding";
+    t.next_ts <- Int64.add t.next_ts 1L;
+    let p =
+      {
+        ts = t.next_ts;
+        op;
+        callback;
+        started = Engine.now (Network.engine t.network);
+        retries = 0;
+        timer = Timer.never;
+      }
+    in
+    t.pending <- Some p;
+    Metrics.incr t.metrics "ops.started";
+    send_request t p;
+    arm_timer t p
+
+  let install_dispatcher network node =
+    let key = (Network.uid network, node) in
+    match Hashtbl.find_opt dispatchers key with
+    | Some table -> table
+    | None ->
+      let table = Hashtbl.create 16 in
+      Hashtbl.replace dispatchers key table;
+      Network.set_handler network node (fun ~src:_ ~wire ~size ->
+          ignore size;
+          match Message.decode_envelope wire with
+          | { Message.msg = Message.Reply r; _ } -> (
+            match Hashtbl.find_opt table r.Message.client with
+            | Some client -> on_reply client r
+            | None -> ())
+          | _ | (exception Bft_util.Codec.Decode_error _) -> ());
+      table
+
+  let create ~network ~node ~id ~server ?retry_timeout () =
+    let t =
+      {
+        network;
+        node;
+        id;
+        server;
+        retry_timeout;
+        next_ts = 0L;
+        pending = None;
+        metrics = Metrics.create ();
+      }
+    in
+    let table = install_dispatcher network node in
+    Hashtbl.replace table id t;
+    t
+end

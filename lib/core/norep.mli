@@ -1,0 +1,49 @@
+(** NO-REP: the paper's unreplicated baseline.
+
+    A single server reached directly over (simulated) UDP, with no
+    replication, no authentication and no retransmission — exactly the
+    comparison point used throughout Section 4. Because requests are not
+    retransmitted, overload-induced datagram loss permanently stalls a
+    client; the paper notes this is why Figure 4 has no NO-REP points past
+    15 clients for operation 4/0. The harness can optionally enable
+    retransmission when it needs the run to terminate. *)
+
+module Server : sig
+  type t
+
+  val create :
+    network:Bft_net.Network.t ->
+    node:Bft_net.Network.node_id ->
+    service:Service.t ->
+    unit ->
+    t
+
+  val node : t -> Bft_net.Network.node_id
+
+  val metrics : t -> Metrics.t
+end
+
+module Client : sig
+  type t
+
+  type outcome = { result : Payload.t; latency : float; retries : int }
+
+  val create :
+    network:Bft_net.Network.t ->
+    node:Bft_net.Network.node_id ->
+    id:Types.client_id ->
+    server:Bft_net.Network.node_id ->
+    ?retry_timeout:float ->
+    unit ->
+    t
+  (** [retry_timeout = None] (default) reproduces the paper's
+      fire-and-forget behaviour. *)
+
+  val id : t -> Types.client_id
+
+  val invoke : t -> Payload.t -> (outcome -> unit) -> unit
+
+  val busy : t -> bool
+
+  val metrics : t -> Metrics.t
+end

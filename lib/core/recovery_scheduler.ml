@@ -1,0 +1,36 @@
+module Engine = Bft_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  replicas : Replica.t array;
+  period : float;
+  mutable next : int;
+  mutable started : int;
+  mutable running : bool;
+}
+
+let rec schedule_next t =
+  if t.running then begin
+    let stagger = t.period /. float_of_int (Array.length t.replicas) in
+    Engine.schedule t.engine ~delay:stagger (fun () ->
+        if t.running then begin
+          let replica = t.replicas.(t.next) in
+          t.next <- (t.next + 1) mod Array.length t.replicas;
+          t.started <- t.started + 1;
+          Replica.start_recovery replica;
+          schedule_next t
+        end)
+  end
+
+let start ~engine ~replicas ~period =
+  if Array.length replicas = 0 then invalid_arg "Recovery_scheduler.start";
+  if period <= 0.0 then invalid_arg "Recovery_scheduler.start: period";
+  let t = { engine; replicas; period; next = 0; started = 0; running = true } in
+  schedule_next t;
+  t
+
+let stop t = t.running <- false
+
+let recoveries_started t = t.started
+
+let window_of_vulnerability t = 2.0 *. t.period

@@ -1,0 +1,26 @@
+(** Proactive recovery scheduling.
+
+    The paper (Section 2): "BFT can recover replicas proactively. This
+    allows BFT to offer safety and liveness even if all replicas fail
+    provided less than 1/3 of the replicas become faulty within a window
+    of vulnerability." The scheduler realizes the mechanism: replicas are
+    recovered in a staggered round-robin — one every [period / n] — so at
+    most one replica is recovering at a time and every replica is refreshed
+    once per [period]. The window of vulnerability is roughly twice the
+    period (a replica compromised right after its recovery stays so until
+    its next turn completes). *)
+
+type t
+
+val start :
+  engine:Bft_sim.Engine.t -> replicas:Replica.t array -> period:float -> t
+(** Begin the staggered rotation; the first recovery fires after one
+    stagger interval. *)
+
+val stop : t -> unit
+
+val recoveries_started : t -> int
+
+val window_of_vulnerability : t -> float
+(** [2 * period], the paper's bound on how long a stealthy compromise can
+    persist. *)

@@ -1,0 +1,13 @@
+type replica_id = int
+
+type client_id = int
+
+type view = int
+
+type seqno = int
+
+let primary_of_view ~n view = view mod n
+
+let quorum ~f = (2 * f) + 1
+
+let weak_quorum ~f = f + 1

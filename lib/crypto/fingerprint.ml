@@ -1,0 +1,24 @@
+type t = string
+
+let size = 16
+
+let of_string = Md5.digest
+
+let of_parts parts =
+  let ctx = Md5.init () in
+  let len = Bytes.create 8 in
+  List.iter
+    (fun part ->
+      Bytes.set_int64_le len 0 (Int64.of_int (String.length part));
+      Md5.update ctx (Bytes.to_string len);
+      Md5.update ctx part)
+    parts;
+  Md5.finalize ctx
+
+let equal = String.equal
+
+let compare = String.compare
+
+let zero = String.make size '\000'
+
+let pp fmt t = Format.pp_print_string fmt (String.sub (Md5.to_hex t) 0 8)

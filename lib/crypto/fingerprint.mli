@@ -1,0 +1,21 @@
+(** Message digests (D(.) in the paper): 16-byte MD5 fingerprints with a
+    domain-separated multi-part form used to digest structured messages. *)
+
+type t = string
+(** 16 bytes. *)
+
+val size : int
+
+val of_string : string -> t
+
+val of_parts : string list -> t
+(** Digest of length-prefixed parts, so part boundaries are unambiguous. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit
+(** First 8 hex characters, for logs. *)

@@ -1,0 +1,15 @@
+let block_size = 64
+
+let normalise_key key =
+  let key = if String.length key > block_size then Md5.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\000'
+
+let xor_with byte s = String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalise_key key in
+  let inner = Md5.digest (xor_with 0x36 key ^ msg) in
+  Md5.digest (xor_with 0x5c key ^ inner)
+
+let hex ~key msg = Md5.to_hex (mac ~key msg)

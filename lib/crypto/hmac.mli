@@ -1,0 +1,7 @@
+(** HMAC-MD5 (RFC 2104), validated against the RFC 2202 test vectors. *)
+
+val mac : key:string -> string -> string
+(** 16-byte binary tag. *)
+
+val hex : key:string -> string -> string
+(** Tag rendered as hex, for tests. *)

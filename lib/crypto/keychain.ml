@@ -1,0 +1,40 @@
+type principal = int
+
+type t = {
+  master : string;
+  self_id : principal;
+  replica_bound : int;
+  mutable inbound_epoch : int;
+  peer_epochs : (principal, int) Hashtbl.t; (* epochs peers announced *)
+}
+
+let create ~master ~self ?(replica_bound = max_int) () = {
+  master;
+  self_id = self;
+  replica_bound;
+  inbound_epoch = 0;
+  peer_epochs = Hashtbl.create 16;
+}
+
+let self t = t.self_id
+
+(* The directed key for sender [src] -> receiver [dst] at the receiver's
+   inbound epoch. Both ends derive the same 16-byte key. *)
+let derive master ~src ~dst ~epoch =
+  Hmac.mac ~key:master (Printf.sprintf "session:%d->%d@%d" src dst epoch)
+
+let peer_epoch t peer = Option.value ~default:0 (Hashtbl.find_opt t.peer_epochs peer)
+
+let send_key t peer =
+  derive t.master ~src:t.self_id ~dst:peer ~epoch:(peer_epoch t peer)
+
+let recv_key t peer =
+  let epoch = if peer < t.replica_bound then t.inbound_epoch else 0 in
+  derive t.master ~src:peer ~dst:t.self_id ~epoch
+
+let epoch t ~peer:_ = t.inbound_epoch
+
+let refresh t = t.inbound_epoch <- t.inbound_epoch + 1
+
+let observe_epoch t ~peer epoch =
+  if epoch > peer_epoch t peer then Hashtbl.replace t.peer_epochs peer epoch

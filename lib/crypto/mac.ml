@@ -1,0 +1,18 @@
+type tag = string
+
+let tag_size = 8
+
+let compute ~key ~nonce msg =
+  let nonce_bytes = Bytes.create 8 in
+  Bytes.set_int64_le nonce_bytes 0 nonce;
+  String.sub (Hmac.mac ~key (Bytes.to_string nonce_bytes ^ msg)) 0 tag_size
+
+let equal a b =
+  (* Constant-time over the common length to avoid timing oracles. *)
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+let verify ~key ~nonce msg tag = equal (compute ~key ~nonce msg) tag

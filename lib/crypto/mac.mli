@@ -1,0 +1,19 @@
+(** UMAC32-style message authentication codes.
+
+    The paper authenticates messages with 8-byte UMAC32 tags over a nonce
+    and the message. We keep the same interface and tag size; the underlying
+    PRF is our HMAC-MD5. The simulated CPU cost of a MAC is charged by the
+    cost model, so the paper's "MAC computation is negligible" property is
+    preserved regardless of the host primitive. *)
+
+type tag = string
+(** 8 bytes. *)
+
+val tag_size : int
+
+val compute : key:string -> nonce:int64 -> string -> tag
+
+val verify : key:string -> nonce:int64 -> string -> tag -> bool
+(** Constant-time comparison. *)
+
+val equal : tag -> tag -> bool

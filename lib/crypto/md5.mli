@@ -1,0 +1,26 @@
+(** MD5 message digest, implemented from RFC 1321.
+
+    The BFT library of the paper computes MD5 digests of requests and
+    replies; this is a from-scratch implementation validated against the
+    RFC 1321 test vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+
+val update_sub : ctx -> string -> int -> int -> unit
+(** [update_sub ctx s off len] feeds a substring without copying it out. *)
+
+val finalize : ctx -> string
+(** 16-byte binary digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 16-byte binary digest. *)
+
+val hex : string -> string
+(** One-shot digest rendered as 32 lowercase hex characters. *)
+
+val to_hex : string -> string
+(** Render an arbitrary binary string as lowercase hex. *)

@@ -1,0 +1,191 @@
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Calibration = Bft_sim.Calibration
+module Rng = Bft_util.Rng
+
+type node_id = int
+
+type handler = src:node_id -> wire:string -> size:int -> unit
+
+type faults = {
+  drop_probability : float;
+  duplicate_probability : float;
+  blocked : (node_id * node_id) list;
+}
+
+let no_faults = { drop_probability = 0.0; duplicate_probability = 0.0; blocked = [] }
+
+type node = {
+  name : string;
+  cpu : Cpu.t;
+  mutable handler : handler;
+  mutable up : bool;
+  mutable egress_free : float;
+  mutable ingress_free : float;
+  recv_buffer : float;
+}
+
+type t = {
+  uid : int;
+  engine : Engine.t;
+  cal : Calibration.t;
+  rng : Rng.t;
+  mutable nodes : node array;
+  mutable node_count : int;
+  mutable faults : faults;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable wire_bytes : int;
+}
+
+let uid_counter = ref 0
+
+let create engine cal ~rng =
+  incr uid_counter;
+  {
+    uid = !uid_counter;
+    engine;
+    cal;
+    rng;
+    nodes = [||];
+    node_count = 0;
+    faults = no_faults;
+    sent = 0;
+    dropped = 0;
+    delivered = 0;
+    wire_bytes = 0;
+  }
+
+let engine t = t.engine
+
+let uid t = t.uid
+
+let calibration t = t.cal
+
+let no_handler ~src:_ ~wire:_ ~size:_ = ()
+
+let add_node t ~cpu ?(recv_buffer = 0.02) ~name () =
+  let node =
+    {
+      name;
+      cpu;
+      handler = no_handler;
+      up = true;
+      egress_free = 0.0;
+      ingress_free = 0.0;
+      recv_buffer;
+    }
+  in
+  if t.node_count = Array.length t.nodes then begin
+    let bigger = Array.make (Stdlib.max 8 (2 * t.node_count)) node in
+    Array.blit t.nodes 0 bigger 0 t.node_count;
+    t.nodes <- bigger
+  end;
+  let id = t.node_count in
+  t.nodes.(id) <- node;
+  t.node_count <- t.node_count + 1;
+  id
+
+let get t id =
+  if id < 0 || id >= t.node_count then invalid_arg "Network: bad node id";
+  t.nodes.(id)
+
+let set_handler t id handler = (get t id).handler <- handler
+
+let node_cpu t id = (get t id).cpu
+
+let node_name t id = (get t id).name
+
+let set_up t id up = (get t id).up <- up
+
+let is_up t id = (get t id).up
+
+let set_faults t faults = t.faults <- faults
+
+let blocked t ~src ~dst = List.mem (src, dst) t.faults.blocked
+
+let charge_recv t node size =
+  Cpu.charge node.cpu
+    (t.cal.Calibration.udp_recv_cost
+    +. (float_of_int size *. t.cal.Calibration.byte_touch_cost))
+
+(* Deliver one already-serialized datagram to [dst]'s ingress link. *)
+let deliver t ~src ~dst ~wire ~size ~arrival =
+  let receiver = get t dst in
+  let start = Float.max arrival receiver.ingress_free in
+  let backlog = start -. arrival in
+  if backlog > receiver.recv_buffer then t.dropped <- t.dropped + 1
+  else begin
+    let serialization = Calibration.transmission_time t.cal size in
+    receiver.ingress_free <- start +. serialization;
+    let ready = start +. serialization in
+    Engine.schedule_at t.engine ready (fun () ->
+        if receiver.up then begin
+          t.delivered <- t.delivered + 1;
+          Cpu.dispatch receiver.cpu (fun () ->
+              charge_recv t receiver size;
+              receiver.handler ~src ~wire ~size)
+        end
+        else t.dropped <- t.dropped + 1)
+  end
+
+let unlucky t p = p > 0.0 && Rng.bernoulli t.rng p
+
+(* Serialize once on the sender's egress link, then fan out. *)
+let transmit t ~src ~dsts ~wire ~size =
+  let sender = get t src in
+  if sender.up then begin
+    let departure = Float.max (Cpu.virtual_now sender.cpu) sender.egress_free in
+    let serialization = Calibration.transmission_time t.cal size in
+    sender.egress_free <- departure +. serialization;
+    let at_switch = departure +. serialization +. t.cal.Calibration.switch_latency in
+    t.sent <- t.sent + List.length dsts;
+    t.wire_bytes <- t.wire_bytes + Calibration.wire_bytes t.cal size;
+    List.iter
+      (fun dst ->
+        if dst = src then
+          (* Loopback skips the wire but still crosses the UDP stack. *)
+          Engine.schedule_at t.engine departure (fun () ->
+              t.delivered <- t.delivered + 1;
+              Cpu.dispatch sender.cpu (fun () ->
+                  charge_recv t sender size;
+                  sender.handler ~src ~wire ~size))
+        else if blocked t ~src ~dst || unlucky t t.faults.drop_probability then
+          t.dropped <- t.dropped + 1
+        else begin
+          deliver t ~src ~dst ~wire ~size ~arrival:at_switch;
+          if unlucky t t.faults.duplicate_probability then
+            deliver t ~src ~dst ~wire ~size ~arrival:at_switch
+        end)
+      dsts
+  end
+
+let charge_send t node size =
+  Cpu.charge node.cpu
+    (t.cal.Calibration.udp_send_cost
+    +. (float_of_int size *. t.cal.Calibration.byte_touch_cost))
+
+let send t ~src ~dst ?size wire =
+  let size = Option.value ~default:(String.length wire) size in
+  charge_send t (get t src) size;
+  transmit t ~src ~dsts:[ dst ] ~wire ~size
+
+let multicast t ~src ~dsts ?size wire =
+  let size = Option.value ~default:(String.length wire) size in
+  charge_send t (get t src) size;
+  transmit t ~src ~dsts ~wire ~size
+
+let sent_datagrams t = t.sent
+
+let dropped_datagrams t = t.dropped
+
+let delivered_datagrams t = t.delivered
+
+let bytes_on_wire t = t.wire_bytes
+
+let reset_counters t =
+  t.sent <- 0;
+  t.dropped <- 0;
+  t.delivered <- 0;
+  t.wire_bytes <- 0

@@ -1,0 +1,79 @@
+(** Simulated 100 Mb/s switched Ethernet carrying UDP datagrams.
+
+    Topology is the paper's: every host has a full-duplex link into one
+    store-and-forward switch. A datagram serializes on the sender's egress
+    link (once, even for multicast — the testbed used IP multicast), crosses
+    the switch, and serializes again on each receiver's ingress link.
+    Datagrams are unreliable: they can be dropped by fault injection or by
+    receive-buffer overflow when a receiver's ingress link or CPU falls too
+    far behind (this is what limits the unreplicated NO-REP baseline to
+    ~15 clients in the paper's Figure 4).
+
+    Messages carry both the real encoded bytes [wire] (used for
+    authentication and decoding) and a modeled [size]; the modeled size is
+    what consumes simulated bandwidth and CPU, letting micro-benchmarks use
+    compact stand-ins for zero-filled payloads. *)
+
+type t
+
+type node_id = int
+
+type handler = src:node_id -> wire:string -> size:int -> unit
+
+(** Knobs for fault injection; all default to the fault-free testbed. *)
+type faults = {
+  drop_probability : float;  (** uniform datagram loss *)
+  duplicate_probability : float;
+  blocked : (node_id * node_id) list;  (** directed partitions *)
+}
+
+val no_faults : faults
+
+val create :
+  Bft_sim.Engine.t -> Bft_sim.Calibration.t -> rng:Bft_util.Rng.t -> t
+
+val engine : t -> Bft_sim.Engine.t
+
+val uid : t -> int
+(** Unique per network instance; lets callers key per-network state when
+    many simulations run in one process. *)
+
+val calibration : t -> Bft_sim.Calibration.t
+
+val add_node :
+  t -> cpu:Bft_sim.Cpu.t -> ?recv_buffer:float -> name:string -> unit -> node_id
+(** [recv_buffer] is the backlog (seconds of ingress work) beyond which
+    datagrams are dropped, modelling socket-buffer overflow. *)
+
+val set_handler : t -> node_id -> handler -> unit
+
+val node_cpu : t -> node_id -> Bft_sim.Cpu.t
+
+val node_name : t -> node_id -> string
+
+val set_up : t -> node_id -> bool -> unit
+(** A down node silently drops everything it receives. *)
+
+val is_up : t -> node_id -> bool
+
+val set_faults : t -> faults -> unit
+
+val send : t -> src:node_id -> dst:node_id -> ?size:int -> string -> unit
+(** Charge the sender's CPU for the send, serialize on its egress link, and
+    deliver (or drop). [size] defaults to the wire string length and must be
+    at least it conceptually (unchecked — callers model padding). *)
+
+val multicast : t -> src:node_id -> dsts:node_id list -> ?size:int -> string -> unit
+(** One egress serialization and one CPU send charge; per-receiver ingress. *)
+
+(* --- counters for reports and tests --- *)
+
+val sent_datagrams : t -> int
+
+val dropped_datagrams : t -> int
+
+val delivered_datagrams : t -> int
+
+val bytes_on_wire : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,552 @@
+module Payload = Bft_core.Payload
+module Fingerprint = Bft_crypto.Fingerprint
+module Enc = Bft_util.Codec.Enc
+module Dec = Bft_util.Codec.Dec
+
+type fh = int
+
+type ftype = Reg | Dir | Lnk
+
+type attr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  size : int;
+  mtime : int;
+  ctime : int;
+}
+
+type error =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | ESTALE
+  | EINVAL
+  | EACCES
+
+let error_name = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ESTALE -> "ESTALE"
+  | EINVAL -> "EINVAL"
+  | EACCES -> "EACCES"
+
+type inode = {
+  ino : int;
+  mutable ftype : ftype;
+  mutable mode : int;
+  mutable nlink : int;
+  mutable bytes : string;  (** literal content prefix (regular files) *)
+  mutable vsize : int;  (** virtual size, >= length of [bytes] *)
+  mutable chash : Fingerprint.t;  (** rolling hash of modeled writes *)
+  entries : (string, fh) Hashtbl.t;  (** directories *)
+  mutable target : string;  (** symlinks *)
+  mutable mtime : int;
+  mutable ctime : int;
+}
+
+type t = {
+  inodes : (int, inode) Hashtbl.t;
+  mutable next_ino : int;
+  mutable stamp : int;  (** logical clock: one tick per mutation *)
+  mutable state_fp : Fingerprint.t;
+  mutable total : int;  (** sum of virtual sizes *)
+}
+
+type undo = unit -> unit
+
+let literal_cap = 65536
+
+let root = 1
+
+let new_inode ino ftype mode stamp =
+  {
+    ino;
+    ftype;
+    mode;
+    nlink = (if ftype = Dir then 2 else 1);
+    bytes = "";
+    vsize = 0;
+    chash = Fingerprint.zero;
+    entries = Hashtbl.create 8;
+    target = "";
+    mtime = stamp;
+    ctime = stamp;
+  }
+
+let create () =
+  let t =
+    {
+      inodes = Hashtbl.create 256;
+      next_ino = 2;
+      stamp = 0;
+      state_fp = Fingerprint.of_string "empty-fs";
+      total = 0;
+    }
+  in
+  Hashtbl.replace t.inodes root (new_inode root Dir 0o755 0);
+  t
+
+let find t fh = Hashtbl.find_opt t.inodes fh
+
+let attr_of (i : inode) =
+  {
+    ftype = i.ftype;
+    mode = i.mode;
+    nlink = i.nlink;
+    size = i.vsize;
+    mtime = i.mtime;
+    ctime = i.ctime;
+  }
+
+(* Every mutation advances the logical clock and folds a description of the
+   change into the rolling state hash; the undo closure restores both. *)
+let bump t desc =
+  let old_stamp = t.stamp and old_fp = t.state_fp in
+  t.stamp <- t.stamp + 1;
+  t.state_fp <- Fingerprint.of_parts [ t.state_fp; desc ];
+  fun () ->
+    t.stamp <- old_stamp;
+    t.state_fp <- old_fp
+
+let valid_name name =
+  String.length name > 0 && String.length name <= 255
+  && (not (String.contains name '/'))
+  && name <> "." && name <> ".."
+
+let as_dir t fh =
+  match find t fh with
+  | None -> Error ESTALE
+  | Some i when i.ftype <> Dir -> Error ENOTDIR
+  | Some i -> Ok i
+
+let lookup t ~dir ~name =
+  match as_dir t dir with
+  | Error e -> Error e
+  | Ok d -> (
+    match Hashtbl.find_opt d.entries name with
+    | None -> Error ENOENT
+    | Some fh -> (
+      match find t fh with
+      | None -> Error ESTALE
+      | Some i -> Ok (fh, attr_of i)))
+
+let getattr t fh =
+  match find t fh with None -> Error ESTALE | Some i -> Ok (attr_of i)
+
+let read t fh ~off ~len =
+  match find t fh with
+  | None -> Error ESTALE
+  | Some i when i.ftype = Dir -> Error EISDIR
+  | Some i when i.ftype = Lnk -> Error EINVAL
+  | Some i ->
+    if off < 0 || len < 0 then Error EINVAL
+    else begin
+      let effective = Stdlib.max 0 (Stdlib.min len (i.vsize - off)) in
+      if effective = 0 then Ok Payload.empty
+      else if off + effective <= String.length i.bytes then
+        Ok (Payload.of_string (String.sub i.bytes off effective))
+      else begin
+        (* Virtual region: return a content-committing descriptor padded to
+           the modeled length. *)
+        let enc = Enc.create () in
+        Enc.raw enc i.chash;
+        Enc.int enc off;
+        Enc.int enc effective;
+        let data = Enc.to_string enc in
+        if effective <= String.length data then
+          Ok { Payload.data = String.sub data 0 effective; pad = 0 }
+        else Ok { Payload.data; pad = effective - String.length data }
+      end
+    end
+
+let splice base ~off ~insert =
+  let base_len = String.length base in
+  let end_off = off + String.length insert in
+  let buf = Bytes.make (Stdlib.max base_len end_off) '\000' in
+  Bytes.blit_string base 0 buf 0 base_len;
+  Bytes.blit_string insert 0 buf off (String.length insert);
+  Bytes.to_string buf
+
+let write t fh ~off ~data =
+  match find t fh with
+  | None -> Error ESTALE
+  | Some i when i.ftype <> Reg -> Error (if i.ftype = Dir then EISDIR else EINVAL)
+  | Some i ->
+    if off < 0 then Error EINVAL
+    else begin
+      let len = Payload.size data in
+      let old_bytes = i.bytes
+      and old_vsize = i.vsize
+      and old_chash = i.chash
+      and old_mtime = i.mtime
+      and old_total = t.total in
+      let undo_fp =
+        bump t
+          (Fingerprint.of_parts
+             [ "write"; string_of_int fh; string_of_int off; Payload.digest data ])
+      in
+      (if
+         data.Payload.pad = 0
+         && off + String.length data.Payload.data <= literal_cap
+         && off <= String.length i.bytes
+       then i.bytes <- splice i.bytes ~off ~insert:data.Payload.data
+       else begin
+         (* Modeled bulk write: fold into the content hash; drop any literal
+            bytes the write overlaps so reads stay consistent. *)
+         if off < String.length i.bytes then i.bytes <- String.sub i.bytes 0 off;
+         i.chash <-
+           Fingerprint.of_parts
+             [ i.chash; string_of_int off; string_of_int len; Payload.digest data ]
+       end);
+      i.vsize <- Stdlib.max i.vsize (off + len);
+      i.mtime <- t.stamp;
+      t.total <- t.total + (i.vsize - old_vsize);
+      let undo () =
+        i.bytes <- old_bytes;
+        i.vsize <- old_vsize;
+        i.chash <- old_chash;
+        i.mtime <- old_mtime;
+        t.total <- old_total;
+        undo_fp ()
+      in
+      Ok (attr_of i, undo)
+    end
+
+let setattr t fh ?size ?mode () =
+  match find t fh with
+  | None -> Error ESTALE
+  | Some i ->
+    if size <> None && i.ftype <> Reg then Error EINVAL
+    else begin
+      let old_bytes = i.bytes
+      and old_vsize = i.vsize
+      and old_mode = i.mode
+      and old_ctime = i.ctime
+      and old_mtime = i.mtime
+      and old_total = t.total in
+      let undo_fp =
+        bump t
+          (Fingerprint.of_parts
+             [
+               "setattr";
+               string_of_int fh;
+               (match size with None -> "-" | Some s -> string_of_int s);
+               (match mode with None -> "-" | Some m -> string_of_int m);
+             ])
+      in
+      (match size with
+      | Some s when s >= 0 ->
+        if s < String.length i.bytes then i.bytes <- String.sub i.bytes 0 s;
+        t.total <- t.total + (s - i.vsize);
+        i.vsize <- s;
+        i.mtime <- t.stamp
+      | _ -> ());
+      (match mode with Some m -> i.mode <- m land 0o7777 | None -> ());
+      i.ctime <- t.stamp;
+      let undo () =
+        i.bytes <- old_bytes;
+        i.vsize <- old_vsize;
+        i.mode <- old_mode;
+        i.ctime <- old_ctime;
+        i.mtime <- old_mtime;
+        t.total <- old_total;
+        undo_fp ()
+      in
+      Ok (attr_of i, undo)
+    end
+
+let alloc t ftype mode =
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  let i = new_inode ino ftype mode t.stamp in
+  Hashtbl.replace t.inodes ino i;
+  i
+
+let add_entry t (d : inode) name fh kind =
+  let undo_fp =
+    bump t (Fingerprint.of_parts [ kind; string_of_int d.ino; name; string_of_int fh ])
+  in
+  Hashtbl.replace d.entries name fh;
+  let old_mtime = d.mtime in
+  d.mtime <- t.stamp;
+  fun () ->
+    Hashtbl.remove d.entries name;
+    d.mtime <- old_mtime;
+    undo_fp ()
+
+let create_generic t ~dir ~name ftype mode =
+  match as_dir t dir with
+  | Error e -> Error e
+  | Ok d ->
+    if not (valid_name name) then Error EINVAL
+    else if Hashtbl.mem d.entries name then Error EEXIST
+    else begin
+      let i = alloc t ftype mode in
+      let undo_entry = add_entry t d name i.ino "create" in
+      let old_nlink = d.nlink in
+      if ftype = Dir then d.nlink <- d.nlink + 1;
+      let old_next = t.next_ino in
+      ignore old_next;
+      let undo () =
+        d.nlink <- old_nlink;
+        Hashtbl.remove t.inodes i.ino;
+        t.next_ino <- i.ino;
+        undo_entry ()
+      in
+      Ok (i, undo)
+    end
+
+let create_file t ~dir ~name ~mode =
+  match create_generic t ~dir ~name Reg mode with
+  | Error e -> Error e
+  | Ok (i, undo) -> Ok (i.ino, attr_of i, undo)
+
+let mkdir t ~dir ~name ~mode =
+  match create_generic t ~dir ~name Dir mode with
+  | Error e -> Error e
+  | Ok (i, undo) -> Ok (i.ino, attr_of i, undo)
+
+let symlink t ~dir ~name ~target =
+  match create_generic t ~dir ~name Lnk 0o777 with
+  | Error e -> Error e
+  | Ok (i, undo) ->
+    i.target <- target;
+    Ok (i.ino, undo)
+
+let readlink t fh =
+  match find t fh with
+  | None -> Error ESTALE
+  | Some i when i.ftype <> Lnk -> Error EINVAL
+  | Some i -> Ok i.target
+
+let unlink_common t ~dir ~name ~want_dir =
+  match as_dir t dir with
+  | Error e -> Error e
+  | Ok d -> (
+    match Hashtbl.find_opt d.entries name with
+    | None -> Error ENOENT
+    | Some fh -> (
+      match find t fh with
+      | None -> Error ESTALE
+      | Some i ->
+        if want_dir && i.ftype <> Dir then Error ENOTDIR
+        else if (not want_dir) && i.ftype = Dir then Error EISDIR
+        else if want_dir && Hashtbl.length i.entries > 0 then Error ENOTEMPTY
+        else begin
+          let undo_fp =
+            bump t
+              (Fingerprint.of_parts [ "unlink"; string_of_int d.ino; name ])
+          in
+          Hashtbl.remove d.entries name;
+          let old_dmtime = d.mtime and old_dnlink = d.nlink in
+          d.mtime <- t.stamp;
+          if want_dir then d.nlink <- d.nlink - 1;
+          let old_nlink = i.nlink in
+          i.nlink <- i.nlink - (if want_dir then 2 else 1);
+          let removed = i.nlink <= 0 in
+          let old_total = t.total in
+          if removed then begin
+            Hashtbl.remove t.inodes fh;
+            t.total <- t.total - i.vsize
+          end;
+          let undo () =
+            if removed then Hashtbl.replace t.inodes fh i;
+            t.total <- old_total;
+            i.nlink <- old_nlink;
+            d.nlink <- old_dnlink;
+            Hashtbl.replace d.entries name fh;
+            d.mtime <- old_dmtime;
+            undo_fp ()
+          in
+          Ok undo
+        end))
+
+let remove t ~dir ~name = unlink_common t ~dir ~name ~want_dir:false
+
+let rmdir t ~dir ~name = unlink_common t ~dir ~name ~want_dir:true
+
+let link t ~src ~dir ~name =
+  match (find t src, as_dir t dir) with
+  | None, _ -> Error ESTALE
+  | _, Error e -> Error e
+  | Some i, Ok _ when i.ftype = Dir -> Error EISDIR
+  | Some i, Ok d ->
+    if not (valid_name name) then Error EINVAL
+    else if Hashtbl.mem d.entries name then Error EEXIST
+    else begin
+      let undo_entry = add_entry t d name src "link" in
+      let old_nlink = i.nlink in
+      i.nlink <- i.nlink + 1;
+      let undo () =
+        i.nlink <- old_nlink;
+        undo_entry ()
+      in
+      Ok undo
+    end
+
+let rename t ~from_dir ~from_name ~to_dir ~to_name =
+  match (as_dir t from_dir, as_dir t to_dir) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok src_dir, Ok dst_dir -> (
+    if not (valid_name to_name) then Error EINVAL
+    else
+      match Hashtbl.find_opt src_dir.entries from_name with
+      | None -> Error ENOENT
+      | Some moving_fh -> (
+        let replace_undo =
+          match Hashtbl.find_opt dst_dir.entries to_name with
+          | None -> Ok None
+          | Some existing_fh -> (
+            match find t existing_fh with
+            | Some e when e.ftype = Dir && Hashtbl.length e.entries > 0 ->
+              Error ENOTEMPTY
+            | Some e when e.ftype = Dir -> (
+              match rmdir t ~dir:to_dir ~name:to_name with
+              | Ok u -> Ok (Some u)
+              | Error err -> Error err)
+            | _ -> (
+              match remove t ~dir:to_dir ~name:to_name with
+              | Ok u -> Ok (Some u)
+              | Error err -> Error err))
+        in
+        match replace_undo with
+        | Error e -> Error e
+        | Ok replaced -> (
+          match find t moving_fh with
+          | None -> Error ESTALE
+          | Some moving ->
+            let undo_fp =
+              bump t
+                (Fingerprint.of_parts
+                   [
+                     "rename";
+                     string_of_int from_dir;
+                     from_name;
+                     string_of_int to_dir;
+                     to_name;
+                   ])
+            in
+            Hashtbl.remove src_dir.entries from_name;
+            Hashtbl.replace dst_dir.entries to_name moving_fh;
+            let old_src_mtime = src_dir.mtime and old_dst_mtime = dst_dir.mtime in
+            let old_src_nlink = src_dir.nlink and old_dst_nlink = dst_dir.nlink in
+            src_dir.mtime <- t.stamp;
+            dst_dir.mtime <- t.stamp;
+            if moving.ftype = Dir && from_dir <> to_dir then begin
+              src_dir.nlink <- src_dir.nlink - 1;
+              dst_dir.nlink <- dst_dir.nlink + 1
+            end;
+            let undo () =
+              src_dir.nlink <- old_src_nlink;
+              dst_dir.nlink <- old_dst_nlink;
+              Hashtbl.remove dst_dir.entries to_name;
+              Hashtbl.replace src_dir.entries from_name moving_fh;
+              src_dir.mtime <- old_src_mtime;
+              dst_dir.mtime <- old_dst_mtime;
+              undo_fp ();
+              match replaced with Some u -> u () | None -> ()
+            in
+            Ok undo)))
+
+let readdir t fh =
+  match as_dir t fh with
+  | Error e -> Error e
+  | Ok d ->
+    Ok (Hashtbl.fold (fun name _ acc -> name :: acc) d.entries [] |> List.sort compare)
+
+let dir_size t fh =
+  match find t fh with
+  | Some i when i.ftype = Dir -> Hashtbl.length i.entries
+  | Some _ | None -> 0
+
+let statfs t = (t.total, Hashtbl.length t.inodes)
+
+let state_digest t =
+  Fingerprint.of_parts [ t.state_fp; string_of_int t.stamp ]
+
+let total_bytes t = t.total
+
+(* --- snapshot / restore ------------------------------------------------ *)
+
+let snapshot t =
+  let enc = Enc.create () in
+  Enc.int enc t.next_ino;
+  Enc.int enc t.stamp;
+  Enc.raw enc t.state_fp;
+  Enc.int enc t.total;
+  let inodes =
+    Hashtbl.fold (fun _ i acc -> i :: acc) t.inodes []
+    |> List.sort (fun a b -> compare a.ino b.ino)
+  in
+  Enc.u32 enc (List.length inodes);
+  List.iter
+    (fun i ->
+      Enc.int enc i.ino;
+      Enc.u8 enc (match i.ftype with Reg -> 0 | Dir -> 1 | Lnk -> 2);
+      Enc.u32 enc i.mode;
+      Enc.u32 enc i.nlink;
+      Enc.bytes enc i.bytes;
+      Enc.int enc i.vsize;
+      Enc.raw enc i.chash;
+      Enc.bytes enc i.target;
+      Enc.int enc i.mtime;
+      Enc.int enc i.ctime;
+      let entries =
+        Hashtbl.fold (fun name fh acc -> (name, fh) :: acc) i.entries []
+        |> List.sort compare
+      in
+      Enc.u32 enc (List.length entries);
+      List.iter
+        (fun (name, fh) ->
+          Enc.bytes enc name;
+          Enc.int enc fh)
+        entries)
+    inodes;
+  Enc.to_string enc
+
+let restore t data =
+  let dec = Dec.of_string data in
+  t.next_ino <- Dec.int dec;
+  t.stamp <- Dec.int dec;
+  t.state_fp <- Dec.raw dec Fingerprint.size;
+  t.total <- Dec.int dec;
+  Hashtbl.reset t.inodes;
+  let count = Dec.u32 dec in
+  for _ = 1 to count do
+    let ino = Dec.int dec in
+    let ftype =
+      match Dec.u8 dec with
+      | 0 -> Reg
+      | 1 -> Dir
+      | _ -> Lnk
+    in
+    let mode = Dec.u32 dec in
+    let nlink = Dec.u32 dec in
+    let bytes = Dec.bytes dec in
+    let vsize = Dec.int dec in
+    let chash = Dec.raw dec Fingerprint.size in
+    let target = Dec.bytes dec in
+    let mtime = Dec.int dec in
+    let ctime = Dec.int dec in
+    let i = new_inode ino ftype mode 0 in
+    i.nlink <- nlink;
+    i.bytes <- bytes;
+    i.vsize <- vsize;
+    i.chash <- chash;
+    i.target <- target;
+    i.mtime <- mtime;
+    i.ctime <- ctime;
+    let n_entries = Dec.u32 dec in
+    for _ = 1 to n_entries do
+      let name = Dec.bytes dec in
+      let fh = Dec.int dec in
+      Hashtbl.replace i.entries name fh
+    done;
+    Hashtbl.replace t.inodes ino i
+  done

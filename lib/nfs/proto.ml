@@ -1,0 +1,297 @@
+module Payload = Bft_core.Payload
+module Enc = Bft_util.Codec.Enc
+module Dec = Bft_util.Codec.Dec
+
+type call =
+  | Getattr of Fs.fh
+  | Setattr of { fh : Fs.fh; size : int option; mode : int option }
+  | Lookup of { dir : Fs.fh; name : string }
+  | Readlink of Fs.fh
+  | Read of { fh : Fs.fh; off : int; len : int }
+  | Write of { fh : Fs.fh; off : int; data : Bft_core.Payload.t }
+  | Create of { dir : Fs.fh; name : string; mode : int }
+  | Remove of { dir : Fs.fh; name : string }
+  | Rename of { from_dir : Fs.fh; from_name : string; to_dir : Fs.fh; to_name : string }
+  | Link of { src : Fs.fh; dir : Fs.fh; name : string }
+  | Symlink of { dir : Fs.fh; name : string; target : string }
+  | Mkdir of { dir : Fs.fh; name : string; mode : int }
+  | Rmdir of { dir : Fs.fh; name : string }
+  | Readdir of Fs.fh
+  | Statfs
+
+type reply =
+  | Attr of Fs.attr
+  | Entry of Fs.fh * Fs.attr
+  | Data of Bft_core.Payload.t
+  | Path of string
+  | Created of Fs.fh * Fs.attr
+  | Names of string list
+  | Fsinfo of int * int
+  | Ok_unit
+  | Err of Fs.error
+
+let is_read_only = function
+  | Getattr _ | Lookup _ | Readlink _ | Read _ | Readdir _ | Statfs -> true
+  | Setattr _ | Write _ | Create _ | Remove _ | Rename _ | Link _ | Symlink _
+  | Mkdir _ | Rmdir _ ->
+    false
+
+let is_metadata_mutation = function
+  | Setattr _ | Create _ | Remove _ | Rename _ | Link _ | Symlink _ | Mkdir _
+  | Rmdir _ ->
+    true
+  | Getattr _ | Lookup _ | Readlink _ | Read _ | Readdir _ | Statfs | Write _ ->
+    false
+
+let call_name = function
+  | Getattr _ -> "getattr"
+  | Setattr _ -> "setattr"
+  | Lookup _ -> "lookup"
+  | Readlink _ -> "readlink"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Create _ -> "create"
+  | Remove _ -> "remove"
+  | Rename _ -> "rename"
+  | Link _ -> "link"
+  | Symlink _ -> "symlink"
+  | Mkdir _ -> "mkdir"
+  | Rmdir _ -> "rmdir"
+  | Readdir _ -> "readdir"
+  | Statfs -> "statfs"
+
+let encode_call call =
+  let enc = Enc.create () in
+  let pad = ref 0 in
+  (match call with
+  | Getattr fh ->
+    Enc.u8 enc 0;
+    Enc.int enc fh
+  | Setattr { fh; size; mode } ->
+    Enc.u8 enc 1;
+    Enc.int enc fh;
+    Enc.option enc Enc.int size;
+    Enc.option enc Enc.int mode
+  | Lookup { dir; name } ->
+    Enc.u8 enc 2;
+    Enc.int enc dir;
+    Enc.bytes enc name
+  | Readlink fh ->
+    Enc.u8 enc 3;
+    Enc.int enc fh
+  | Read { fh; off; len } ->
+    Enc.u8 enc 4;
+    Enc.int enc fh;
+    Enc.int enc off;
+    Enc.int enc len
+  | Write { fh; off; data } ->
+    Enc.u8 enc 5;
+    Enc.int enc fh;
+    Enc.int enc off;
+    Payload.encode enc data;
+    pad := data.Payload.pad
+  | Create { dir; name; mode } ->
+    Enc.u8 enc 6;
+    Enc.int enc dir;
+    Enc.bytes enc name;
+    Enc.u32 enc mode
+  | Remove { dir; name } ->
+    Enc.u8 enc 7;
+    Enc.int enc dir;
+    Enc.bytes enc name
+  | Rename { from_dir; from_name; to_dir; to_name } ->
+    Enc.u8 enc 8;
+    Enc.int enc from_dir;
+    Enc.bytes enc from_name;
+    Enc.int enc to_dir;
+    Enc.bytes enc to_name
+  | Link { src; dir; name } ->
+    Enc.u8 enc 9;
+    Enc.int enc src;
+    Enc.int enc dir;
+    Enc.bytes enc name
+  | Symlink { dir; name; target } ->
+    Enc.u8 enc 10;
+    Enc.int enc dir;
+    Enc.bytes enc name;
+    Enc.bytes enc target
+  | Mkdir { dir; name; mode } ->
+    Enc.u8 enc 11;
+    Enc.int enc dir;
+    Enc.bytes enc name;
+    Enc.u32 enc mode
+  | Rmdir { dir; name } ->
+    Enc.u8 enc 12;
+    Enc.int enc dir;
+    Enc.bytes enc name
+  | Readdir fh ->
+    Enc.u8 enc 13;
+    Enc.int enc fh
+  | Statfs -> Enc.u8 enc 14);
+  { Payload.data = Enc.to_string enc; pad = !pad }
+
+let decode_call (p : Payload.t) =
+  let dec = Dec.of_string p.Payload.data in
+  match
+    match Dec.u8 dec with
+    | 0 -> Some (Getattr (Dec.int dec))
+    | 1 ->
+      let fh = Dec.int dec in
+      let size = Dec.option dec Dec.int in
+      let mode = Dec.option dec Dec.int in
+      Some (Setattr { fh; size; mode })
+    | 2 ->
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      Some (Lookup { dir; name })
+    | 3 -> Some (Readlink (Dec.int dec))
+    | 4 ->
+      let fh = Dec.int dec in
+      let off = Dec.int dec in
+      let len = Dec.int dec in
+      Some (Read { fh; off; len })
+    | 5 ->
+      let fh = Dec.int dec in
+      let off = Dec.int dec in
+      let data = Payload.decode dec in
+      (* Re-attach the envelope-level padding to the write body. *)
+      Some (Write { fh; off; data = { data with Payload.pad = p.Payload.pad } })
+    | 6 ->
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      let mode = Dec.u32 dec in
+      Some (Create { dir; name; mode })
+    | 7 ->
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      Some (Remove { dir; name })
+    | 8 ->
+      let from_dir = Dec.int dec in
+      let from_name = Dec.bytes dec in
+      let to_dir = Dec.int dec in
+      let to_name = Dec.bytes dec in
+      Some (Rename { from_dir; from_name; to_dir; to_name })
+    | 9 ->
+      let src = Dec.int dec in
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      Some (Link { src; dir; name })
+    | 10 ->
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      let target = Dec.bytes dec in
+      Some (Symlink { dir; name; target })
+    | 11 ->
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      let mode = Dec.u32 dec in
+      Some (Mkdir { dir; name; mode })
+    | 12 ->
+      let dir = Dec.int dec in
+      let name = Dec.bytes dec in
+      Some (Rmdir { dir; name })
+    | 13 -> Some (Readdir (Dec.int dec))
+    | 14 -> Some Statfs
+    | _ -> None
+  with
+  | result -> result
+  | exception Bft_util.Codec.Decode_error _ -> None
+
+let enc_attr enc (a : Fs.attr) =
+  Enc.u8 enc (match a.Fs.ftype with Fs.Reg -> 0 | Fs.Dir -> 1 | Fs.Lnk -> 2);
+  Enc.u32 enc a.Fs.mode;
+  Enc.u32 enc a.Fs.nlink;
+  Enc.int enc a.Fs.size;
+  Enc.int enc a.Fs.mtime;
+  Enc.int enc a.Fs.ctime
+
+let dec_attr dec : Fs.attr =
+  let ftype = match Dec.u8 dec with 0 -> Fs.Reg | 1 -> Fs.Dir | _ -> Fs.Lnk in
+  let mode = Dec.u32 dec in
+  let nlink = Dec.u32 dec in
+  let size = Dec.int dec in
+  let mtime = Dec.int dec in
+  let ctime = Dec.int dec in
+  { Fs.ftype; mode; nlink; size; mtime; ctime }
+
+let error_code = function
+  | Fs.ENOENT -> 0
+  | Fs.EEXIST -> 1
+  | Fs.ENOTDIR -> 2
+  | Fs.EISDIR -> 3
+  | Fs.ENOTEMPTY -> 4
+  | Fs.ESTALE -> 5
+  | Fs.EINVAL -> 6
+  | Fs.EACCES -> 7
+
+let error_of_code = function
+  | 0 -> Fs.ENOENT
+  | 1 -> Fs.EEXIST
+  | 2 -> Fs.ENOTDIR
+  | 3 -> Fs.EISDIR
+  | 4 -> Fs.ENOTEMPTY
+  | 5 -> Fs.ESTALE
+  | 6 -> Fs.EINVAL
+  | _ -> Fs.EACCES
+
+let encode_reply reply =
+  let enc = Enc.create () in
+  let pad = ref 0 in
+  (match reply with
+  | Attr a ->
+    Enc.u8 enc 0;
+    enc_attr enc a
+  | Entry (fh, a) ->
+    Enc.u8 enc 1;
+    Enc.int enc fh;
+    enc_attr enc a
+  | Data d ->
+    Enc.u8 enc 2;
+    Payload.encode enc d;
+    pad := d.Payload.pad
+  | Path p ->
+    Enc.u8 enc 3;
+    Enc.bytes enc p
+  | Created (fh, a) ->
+    Enc.u8 enc 4;
+    Enc.int enc fh;
+    enc_attr enc a
+  | Names names ->
+    Enc.u8 enc 5;
+    Enc.list enc Enc.bytes names
+  | Fsinfo (bytes, files) ->
+    Enc.u8 enc 6;
+    Enc.int enc bytes;
+    Enc.int enc files
+  | Ok_unit -> Enc.u8 enc 7
+  | Err e ->
+    Enc.u8 enc 8;
+    Enc.u8 enc (error_code e));
+  { Payload.data = Enc.to_string enc; pad = !pad }
+
+let decode_reply (p : Payload.t) =
+  let dec = Dec.of_string p.Payload.data in
+  match
+    match Dec.u8 dec with
+    | 0 -> Some (Attr (dec_attr dec))
+    | 1 ->
+      let fh = Dec.int dec in
+      Some (Entry (fh, dec_attr dec))
+    | 2 ->
+      let d = Payload.decode dec in
+      Some (Data { d with Payload.pad = p.Payload.pad })
+    | 3 -> Some (Path (Dec.bytes dec))
+    | 4 ->
+      let fh = Dec.int dec in
+      Some (Created (fh, dec_attr dec))
+    | 5 -> Some (Names (Dec.list dec Dec.bytes))
+    | 6 ->
+      let bytes = Dec.int dec in
+      let files = Dec.int dec in
+      Some (Fsinfo (bytes, files))
+    | 7 -> Some Ok_unit
+    | 8 -> Some (Err (error_of_code (Dec.u8 dec)))
+    | _ -> None
+  with
+  | result -> result
+  | exception Bft_util.Codec.Decode_error _ -> None

@@ -1,0 +1,51 @@
+(** NFS V2-style protocol: the calls BFS serves, encoded to and from
+    {!Bft_core.Payload.t} so the same operations flow through the BFT
+    library, the unreplicated NO-REP server, and the NFS-STD model. *)
+
+type call =
+  | Getattr of Fs.fh
+  | Setattr of { fh : Fs.fh; size : int option; mode : int option }
+  | Lookup of { dir : Fs.fh; name : string }
+  | Readlink of Fs.fh
+  | Read of { fh : Fs.fh; off : int; len : int }
+  | Write of { fh : Fs.fh; off : int; data : Bft_core.Payload.t }
+  | Create of { dir : Fs.fh; name : string; mode : int }
+  | Remove of { dir : Fs.fh; name : string }
+  | Rename of { from_dir : Fs.fh; from_name : string; to_dir : Fs.fh; to_name : string }
+  | Link of { src : Fs.fh; dir : Fs.fh; name : string }
+  | Symlink of { dir : Fs.fh; name : string; target : string }
+  | Mkdir of { dir : Fs.fh; name : string; mode : int }
+  | Rmdir of { dir : Fs.fh; name : string }
+  | Readdir of Fs.fh
+  | Statfs
+
+type reply =
+  | Attr of Fs.attr
+  | Entry of Fs.fh * Fs.attr
+  | Data of Bft_core.Payload.t
+  | Path of string
+  | Created of Fs.fh * Fs.attr
+  | Names of string list
+  | Fsinfo of int * int
+  | Ok_unit
+  | Err of Fs.error
+
+val is_read_only : call -> bool
+(** True for calls that never mutate state (GETATTR, LOOKUP, READ, ...).
+    Note the paper's BFS marks even reads as read-write when the client
+    needs time-last-accessed maintained; like BFS, we do not maintain
+    atime, so reads are read-only. *)
+
+val is_metadata_mutation : call -> bool
+(** CREATE/REMOVE/RENAME/LINK/SYMLINK/MKDIR/RMDIR/SETATTR: the calls whose
+    Ext2fs metadata updates are synchronous in the NFS-STD model. *)
+
+val encode_call : call -> Bft_core.Payload.t
+
+val decode_call : Bft_core.Payload.t -> call option
+
+val encode_reply : reply -> Bft_core.Payload.t
+
+val decode_reply : Bft_core.Payload.t -> reply option
+
+val call_name : call -> string

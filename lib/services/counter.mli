@@ -1,0 +1,10 @@
+(** The smallest useful deterministic service: a bank of named counters.
+    Used by the quickstart example. *)
+
+type op = Read of string | Add of string * int
+
+val op_payload : op -> Bft_core.Payload.t
+
+val value_of_payload : Bft_core.Payload.t -> int option
+
+val service : unit -> Bft_core.Service.t

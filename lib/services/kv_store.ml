@@ -1,0 +1,177 @@
+module Payload = Bft_core.Payload
+module Service = Bft_core.Service
+module Enc = Bft_util.Codec.Enc
+module Dec = Bft_util.Codec.Dec
+module Fingerprint = Bft_crypto.Fingerprint
+
+type op =
+  | Get of string
+  | Put of string * string
+  | Delete of string
+  | Cas of { key : string; expected : string option; update : string }
+
+type result =
+  | Value of string option
+  | Stored
+  | Cas_result of bool
+  | Error of string
+
+let op_payload op =
+  let enc = Enc.create () in
+  (match op with
+  | Get key ->
+    Enc.u8 enc 0;
+    Enc.bytes enc key
+  | Put (key, value) ->
+    Enc.u8 enc 1;
+    Enc.bytes enc key;
+    Enc.bytes enc value
+  | Delete key ->
+    Enc.u8 enc 2;
+    Enc.bytes enc key
+  | Cas { key; expected; update } ->
+    Enc.u8 enc 3;
+    Enc.bytes enc key;
+    Enc.option enc Enc.bytes expected;
+    Enc.bytes enc update);
+  Payload.of_string (Enc.to_string enc)
+
+let op_of_payload (p : Payload.t) =
+  let dec = Dec.of_string p.Payload.data in
+  match Dec.u8 dec with
+  | 0 -> Some (Get (Dec.bytes dec))
+  | 1 ->
+    let key = Dec.bytes dec in
+    let value = Dec.bytes dec in
+    Some (Put (key, value))
+  | 2 -> Some (Delete (Dec.bytes dec))
+  | 3 ->
+    let key = Dec.bytes dec in
+    let expected = Dec.option dec Dec.bytes in
+    let update = Dec.bytes dec in
+    Some (Cas { key; expected; update })
+  | _ | (exception Bft_util.Codec.Decode_error _) -> None
+
+let result_payload result =
+  let enc = Enc.create () in
+  (match result with
+  | Value v ->
+    Enc.u8 enc 0;
+    Enc.option enc Enc.bytes v
+  | Stored -> Enc.u8 enc 1
+  | Cas_result ok ->
+    Enc.u8 enc 2;
+    Enc.bool enc ok
+  | Error msg ->
+    Enc.u8 enc 3;
+    Enc.bytes enc msg);
+  Payload.of_string (Enc.to_string enc)
+
+let result_of_payload (p : Payload.t) =
+  let dec = Dec.of_string p.Payload.data in
+  match Dec.u8 dec with
+  | 0 -> Value (Dec.option dec Dec.bytes)
+  | 1 -> Stored
+  | 2 -> Cas_result (Dec.bool dec)
+  | 3 -> Error (Dec.bytes dec)
+  | _ | (exception Bft_util.Codec.Decode_error _) -> Error "undecodable result"
+
+let is_read_only_op = function Get _ -> true | Put _ | Delete _ | Cas _ -> false
+
+type store = { table : (string, string) Hashtbl.t; mutable dirty : int }
+
+let no_undo () = ()
+
+let execute store op =
+  match op with
+  | Get key -> (Value (Hashtbl.find_opt store.table key), no_undo)
+  | Put (key, value) ->
+    let previous = Hashtbl.find_opt store.table key in
+    Hashtbl.replace store.table key value;
+    store.dirty <- store.dirty + String.length key + String.length value;
+    let undo () =
+      match previous with
+      | Some old -> Hashtbl.replace store.table key old
+      | None -> Hashtbl.remove store.table key
+    in
+    (Stored, undo)
+  | Delete key ->
+    let previous = Hashtbl.find_opt store.table key in
+    Hashtbl.remove store.table key;
+    store.dirty <- store.dirty + String.length key;
+    let undo () =
+      match previous with
+      | Some old -> Hashtbl.replace store.table key old
+      | None -> ()
+    in
+    (Stored, undo)
+  | Cas { key; expected; update } ->
+    let current = Hashtbl.find_opt store.table key in
+    if current = expected then begin
+      Hashtbl.replace store.table key update;
+      store.dirty <- store.dirty + String.length key + String.length update;
+      let undo () =
+        match current with
+        | Some old -> Hashtbl.replace store.table key old
+        | None -> Hashtbl.remove store.table key
+      in
+      (Cas_result true, undo)
+    end
+    else (Cas_result false, no_undo)
+
+let sorted_bindings store =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) store.table [] |> List.sort compare
+
+let encode_store store =
+  let enc = Enc.create () in
+  List.iter
+    (fun (k, v) ->
+      Enc.bytes enc k;
+      Enc.bytes enc v)
+    (sorted_bindings store);
+  Enc.to_string enc
+
+let service () =
+  let store = { table = Hashtbl.create 256; dirty = 0 } in
+  {
+    Service.name = "kv-store";
+    execute =
+      (fun ~client:_ ~op ->
+        match op_of_payload op with
+        | None -> (result_payload (Error "undecodable operation"), no_undo)
+        | Some op ->
+          let result, undo = execute store op in
+          (result_payload result, undo));
+    is_read_only =
+      (fun op ->
+        match op_of_payload op with
+        | Some op -> is_read_only_op op
+        | None -> false);
+    execute_cost =
+      (fun op -> 1e-6 +. (float_of_int (Payload.size op) *. 2e-9));
+    state_digest = (fun () -> Fingerprint.of_string (encode_store store));
+    modified_since_checkpoint = (fun () -> store.dirty);
+    checkpoint_taken = (fun () -> store.dirty <- 0);
+    snapshot = (fun () -> Payload.of_string (encode_store store));
+    restore =
+      (fun p ->
+        Hashtbl.reset store.table;
+        let dec = Dec.of_string p.Payload.data in
+        while not (Dec.at_end dec) do
+          let k = Dec.bytes dec in
+          let v = Dec.bytes dec in
+          Hashtbl.replace store.table k v
+        done;
+        store.dirty <- 0);
+  }
+
+let size (svc : Service.t) =
+  let snap = svc.Service.snapshot () in
+  let dec = Dec.of_string snap.Payload.data in
+  let count = ref 0 in
+  while not (Dec.at_end dec) do
+    ignore (Dec.bytes dec);
+    ignore (Dec.bytes dec);
+    incr count
+  done;
+  !count

@@ -1,0 +1,31 @@
+(** A replicated key-value store: a small but stateful deterministic
+    service used by the examples and the linearizability tests.
+
+    Operations are encoded into {!Bft_core.Payload.t} by {!op}; results
+    decode with {!result_of_payload}. Get operations are read-only and
+    eligible for the paper's read-only optimization. *)
+
+type op =
+  | Get of string
+  | Put of string * string
+  | Delete of string
+  | Cas of { key : string; expected : string option; update : string }
+      (** compare-and-swap: atomic test of the current binding *)
+
+type result =
+  | Value of string option  (** for Get *)
+  | Stored  (** for Put / Delete *)
+  | Cas_result of bool  (** whether the swap happened *)
+  | Error of string
+
+val op_payload : op -> Bft_core.Payload.t
+
+val result_of_payload : Bft_core.Payload.t -> result
+
+val is_read_only_op : op -> bool
+
+val service : unit -> Bft_core.Service.t
+(** Fresh store; each replica must get its own instance. *)
+
+val size : Bft_core.Service.t -> int
+(** Number of live bindings (test hook; O(n)). *)

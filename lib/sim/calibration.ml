@@ -1,0 +1,56 @@
+type t = {
+  udp_send_cost : float;
+  udp_recv_cost : float;
+  byte_touch_cost : float;
+  digest_base_cost : float;
+  digest_byte_cost : float;
+  mac_base_cost : float;
+  mac_byte_cost : float;
+  pk_sign_cost : float;
+  pk_verify_cost : float;
+  protocol_op_cost : float;
+  link_bandwidth : float;
+  switch_latency : float;
+  frame_overhead : int;
+  mtu_payload : int;
+  disk_seek : float;
+  disk_bandwidth : float;
+}
+
+(* Fitted to the paper's anchors (DESIGN.md §6):
+   - NO-REP null op round trip ~0.1 ms => ~20 us per UDP send/recv;
+   - MD5 at ~4.2 cycles/byte on a 600 MHz PIII => 7 ns/byte;
+   - UMAC32 ~1 cycle/byte with a small fixed cost => "negligible";
+   - 1024-bit modular signature ~30 ms / verify ~1 ms at 600 MHz
+     (the Rampart-era public-key bottleneck the paper cites);
+   - 100 Mb/s => 12.5e6 B/s; 1472 B of UDP payload per 1518 B frame;
+   - Quantum Atlas 10K: ~5 ms positioning, ~20 MB/s sustained. *)
+let default =
+  {
+    udp_send_cost = 20e-6;
+    udp_recv_cost = 20e-6;
+    byte_touch_cost = 2.5e-9;
+    digest_base_cost = 1.5e-6;
+    digest_byte_cost = 7e-9;
+    mac_base_cost = 0.6e-6;
+    mac_byte_cost = 1.7e-9;
+    pk_sign_cost = 30e-3;
+    pk_verify_cost = 1e-3;
+    protocol_op_cost = 3e-6;
+    link_bandwidth = 12.5e6;
+    switch_latency = 12e-6;
+    frame_overhead = 46;
+    mtu_payload = 1472;
+    disk_seek = 5e-3;
+    disk_bandwidth = 20e6;
+  }
+
+let digest_cost t n = t.digest_base_cost +. (float_of_int n *. t.digest_byte_cost)
+
+let mac_cost t n = t.mac_base_cost +. (float_of_int n *. t.mac_byte_cost)
+
+let frames t n = if n <= 0 then 1 else (n + t.mtu_payload - 1) / t.mtu_payload
+
+let wire_bytes t n = n + (frames t n * t.frame_overhead)
+
+let transmission_time t n = float_of_int (wire_bytes t n) /. t.link_bandwidth

@@ -1,0 +1,86 @@
+type t = {
+  engine : Engine.t;
+  speed : float;
+  name : string;
+  pending : (unit -> unit) Queue.t;
+  mutable pumping : bool;
+  mutable busy_until_ : float;
+  mutable handler_start : float option;
+  mutable accum : float; (* work charged by the running handler, speed-1 s *)
+  mutable total_busy_ : float;
+  mutable stats_since : float;
+}
+
+let create engine ?(speed = 1.0) ~name () =
+  if speed <= 0.0 then invalid_arg "Cpu.create: speed";
+  {
+    engine;
+    speed;
+    name;
+    pending = Queue.create ();
+    pumping = false;
+    busy_until_ = 0.0;
+    handler_start = None;
+    accum = 0.0;
+    total_busy_ = 0.0;
+    stats_since = 0.0;
+  }
+
+let engine t = t.engine
+
+let name t = t.name
+
+let busy_until t = t.busy_until_
+
+let virtual_now t =
+  match t.handler_start with
+  | Some start -> start +. (t.accum /. t.speed)
+  | None -> Float.max (Engine.now t.engine) t.busy_until_
+
+let charge t seconds =
+  if seconds < 0.0 then invalid_arg "Cpu.charge: negative";
+  (match t.handler_start with
+  | Some _ -> t.accum <- t.accum +. seconds
+  | None ->
+    let start = Float.max (Engine.now t.engine) t.busy_until_ in
+    t.busy_until_ <- start +. (seconds /. t.speed));
+  t.total_busy_ <- t.total_busy_ +. (seconds /. t.speed)
+
+let rec pump t () =
+  match Queue.take_opt t.pending with
+  | None -> t.pumping <- false
+  | Some handler ->
+    let start = Float.max (Engine.now t.engine) t.busy_until_ in
+    t.handler_start <- Some start;
+    t.accum <- 0.0;
+    let finish_handler () =
+      let finish = start +. (t.accum /. t.speed) in
+      t.handler_start <- None;
+      t.busy_until_ <- Float.max t.busy_until_ finish
+    in
+    (try handler ()
+     with e ->
+       finish_handler ();
+       raise e);
+    finish_handler ();
+    if Queue.is_empty t.pending then t.pumping <- false
+    else Engine.schedule_at t.engine t.busy_until_ (pump t)
+
+let dispatch t handler =
+  Queue.add handler t.pending;
+  if not t.pumping then begin
+    t.pumping <- true;
+    Engine.schedule_at t.engine
+      (Float.max (Engine.now t.engine) t.busy_until_)
+      (pump t)
+  end
+
+let total_busy t = t.total_busy_
+
+let utilisation t ~since =
+  let span = Engine.now t.engine -. since in
+  if span <= 0.0 then 0.0 else Float.min 1.0 (t.total_busy_ /. span)
+
+let reset_stats t =
+  t.total_busy_ <- 0.0;
+  t.stats_since <- Engine.now t.engine

@@ -1,0 +1,39 @@
+(** Serial CPU model for one simulated machine.
+
+    Handlers dispatched to a CPU run one at a time; a handler accumulates
+    cost through [charge] and the CPU stays busy until the accumulated work
+    completes. Messages sent from inside a handler are stamped with
+    [virtual_now], i.e. they leave after the computation that produced them.
+    This reproduces the paper's saturation behaviour, where the replicas'
+    CPUs are the bottleneck for small-argument operations. *)
+
+type t
+
+val create : Engine.t -> ?speed:float -> name:string -> unit -> t
+(** [speed] is a relative multiplier (1.0 = the paper's 600 MHz PIII; the
+    700 MHz client machines of Section 4.3 use 700/600). *)
+
+val engine : t -> Engine.t
+
+val name : t -> string
+
+val dispatch : t -> (unit -> unit) -> unit
+(** Queue a handler; it runs when the CPU is free. *)
+
+val charge : t -> float -> unit
+(** Add [seconds] of work (at speed 1.0) to the running handler. Calling it
+    outside a handler makes the CPU busy for that long starting now. *)
+
+val virtual_now : t -> float
+(** Inside a handler: start time plus work accumulated so far. Outside:
+    [max (Engine.now) busy_until]. *)
+
+val busy_until : t -> float
+
+val total_busy : t -> float
+(** Total busy seconds accumulated, for utilisation reports. *)
+
+val utilisation : t -> since:float -> float
+(** Busy fraction of the window [since, now]. *)
+
+val reset_stats : t -> unit

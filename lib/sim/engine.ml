@@ -1,0 +1,54 @@
+module Heap = Bft_util.Heap
+
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  mutable stopped : bool;
+}
+
+let create () = { clock = 0.0; queue = Heap.create (); stopped = false }
+
+let now t = t.clock
+
+let schedule_at t time fn =
+  let time = Float.max time t.clock in
+  Heap.push t.queue ~priority:time fn
+
+let schedule t ~delay fn = schedule_at t (t.clock +. delay) fn
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.peek_priority t.queue with
+  | None -> false
+  | Some time ->
+    let fn = Heap.pop t.queue in
+    t.clock <- Float.max t.clock time;
+    fn ();
+    true
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let fired = ref 0 in
+  let budget_left () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let continue = ref true in
+  while !continue && (not t.stopped) && budget_left () do
+    match Heap.peek_priority t.queue with
+    | None -> continue := false
+    | Some time ->
+      (match until with
+      | Some limit when time > limit ->
+        t.clock <- Float.max t.clock limit;
+        continue := false
+      | _ ->
+        ignore (step t);
+        incr fired)
+  done;
+  match until with
+  | Some limit when (not t.stopped) && budget_left () ->
+    t.clock <- Float.max t.clock limit
+  | _ -> ()
+
+let stop t = t.stopped <- true

@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (seconds) and a priority queue of
+    events; events at equal times fire in schedule order, which makes every
+    run deterministic. All protocol code in this repository executes inside
+    engine events — there are no threads. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Fire a closure [delay] seconds from now (clamped to now if negative). *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Fire a closure at an absolute virtual time (clamped to now if past). *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Process events in time order until the queue drains, the clock would
+    pass [until], or [max_events] have fired. On [until], the clock is left
+    at [until]. *)
+
+val step : t -> bool
+(** Fire exactly the next event; [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Make the current [run] return after the in-flight event completes. *)

@@ -1,0 +1,20 @@
+type t = { mutable live : bool }
+
+let never = { live = false }
+
+let start engine ~delay fn =
+  let t = { live = true } in
+  Engine.schedule engine ~delay (fun () ->
+      if t.live then begin
+        t.live <- false;
+        fn ()
+      end);
+  t
+
+let cancel t = t.live <- false
+
+let active t = t.live
+
+let restart engine t ~delay fn =
+  cancel t;
+  start engine ~delay fn

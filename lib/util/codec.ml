@@ -1,0 +1,136 @@
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(initial = 64) () = Buffer.create initial
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Enc.u8";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Enc.u16";
+    Buffer.add_uint16_le t v
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Enc.u32";
+    Buffer.add_int32_le t (Int32.of_int v)
+
+  let u64 t v = Buffer.add_int64_le t v
+
+  let int t v =
+    if v < 0 then invalid_arg "Enc.int: negative";
+    u64 t (Int64.of_int v)
+
+  let f64 t v = u64 t (Int64.bits_of_float v)
+
+  let bytes t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let raw t s = Buffer.add_string t s
+
+  let bool t b = u8 t (if b then 1 else 0)
+
+  let option t f = function
+    | None -> u8 t 0
+    | Some v ->
+      u8 t 1;
+      f t v
+
+  let list t f l =
+    u32 t (List.length l);
+    List.iter (f t) l
+
+  let to_string = Buffer.contents
+
+  let length = Buffer.length
+end
+
+module Dec = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let need t n =
+    if n < 0 then fail "negative length";
+    if t.pos + n > String.length t.src then
+      fail "truncated input: need %d bytes at %d, have %d" n t.pos
+        (String.length t.src - t.pos)
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = String.get_uint16_le t.src t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Int32.to_int (String.get_int32_le t.src t.pos) land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    v
+
+  let u64 t =
+    need t 8;
+    let v = String.get_int64_le t.src t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int t =
+    let v = u64 t in
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+      fail "int out of range";
+    Int64.to_int v
+
+  let f64 t = Int64.float_of_bits (u64 t)
+
+  let raw t n =
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t =
+    let n = u32 t in
+    raw t n
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | v -> fail "bad bool tag %d" v
+
+  let option t f =
+    match u8 t with
+    | 0 -> None
+    | 1 -> Some (f t)
+    | v -> fail "bad option tag %d" v
+
+  let list t f =
+    let n = u32 t in
+    (* Guard against absurd lengths before allocating. *)
+    if n > String.length t.src - t.pos then fail "list length %d exceeds input" n;
+    List.init n (fun _ -> f t)
+
+  let position t = t.pos
+
+  let at_end t = t.pos = String.length t.src
+
+  let expect_end t = if not (at_end t) then fail "trailing bytes at %d" t.pos
+end
+
+let roundtrip_check enc dec v =
+  let e = Enc.create () in
+  enc e v;
+  let d = Dec.of_string (Enc.to_string e) in
+  let v' = dec d in
+  Dec.at_end d && v = v'

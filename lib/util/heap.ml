@@ -1,0 +1,73 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { priority = nan; seq = -1; value = Obj.magic 0 }
+
+let create () = { data = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let entry_less a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow h =
+  let data = Array.make (2 * Array.length h.data) dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_less h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && entry_less h.data.(left) h.data.(!smallest) then
+    smallest := left;
+  if right < h.size && entry_less h.data.(right) h.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~priority value =
+  if h.size = Array.length h.data then grow h;
+  let entry = { priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  h.data.(0) <- h.data.(h.size);
+  h.data.(h.size) <- dummy;
+  if h.size > 0 then sift_down h 0;
+  top.value
+
+let peek_priority h = if h.size = 0 then None else Some h.data.(0).priority
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.data.(i) <- dummy
+  done;
+  h.size <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap specialised for the discrete-event queue.
+
+    Elements are ordered by a client-supplied priority and, for equal
+    priorities, by insertion order, so iteration over equal-priority
+    elements is FIFO (this is what makes the simulator deterministic). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~priority x] inserts [x] with the given priority. *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** [pop h] removes and returns the minimum-priority element, FIFO among
+    equal priorities. Raises [Not_found] on an empty heap. *)
+val pop : 'a t -> 'a
+
+(** [peek_priority h] is the priority of the minimum element. *)
+val peek_priority : 'a t -> float option
+
+val clear : 'a t -> unit

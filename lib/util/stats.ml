@@ -1,0 +1,78 @@
+type t = {
+  mutable samples : float array;
+  mutable size : int;
+  mutable sorted : float array option; (* cache invalidated by [add] *)
+}
+
+let create () = { samples = Array.make 16 0.0; size = 0; sorted = None }
+
+let add t x =
+  if t.size = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.size) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.size;
+    t.samples <- bigger
+  end;
+  t.samples.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- None
+
+let count t = t.size
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.samples.(i)
+  done;
+  !acc
+
+let total t = fold ( +. ) 0.0 t
+
+let mean t = if t.size = 0 then nan else total t /. float_of_int t.size
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
+    sqrt (ss /. float_of_int (t.size - 1))
+  end
+
+let min t = if t.size = 0 then nan else fold Float.min infinity t
+
+let max t = if t.size = 0 then nan else fold Float.max neg_infinity t
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.samples 0 t.size in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if t.size = 0 then nan
+  else begin
+    let a = sorted t in
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) in
+    a.(Stdlib.max 0 (Stdlib.min (t.size - 1) (rank - 1)))
+  end
+
+let median t = percentile t 50.0
+
+let clear t =
+  t.size <- 0;
+  t.sorted <- None
+
+let merge a b =
+  let m = create () in
+  for i = 0 to a.size - 1 do
+    add m a.samples.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add m b.samples.(i)
+  done;
+  m
+
+let to_list t = Array.to_list (Array.sub t.samples 0 t.size)

@@ -1,0 +1,36 @@
+(** Online and batch summary statistics used by the benchmark harness. *)
+
+type t
+(** A mutable accumulator of float samples. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of the samples; [nan] when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; [0.] with fewer than two samples. *)
+
+val min : t -> float
+
+val max : t -> float
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], nearest-rank on the sorted
+    samples; [nan] when empty.  O(n log n) on first call after adds. *)
+
+val median : t -> float
+
+val clear : t -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator containing both sample sets. *)
+
+val to_list : t -> float list
+(** Samples in insertion order. *)

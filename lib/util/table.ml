@@ -1,0 +1,68 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> Stdlib.max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let aligns = List.map snd t.columns in
+  let render_cells cells =
+    let parts =
+      List.map2
+        (fun (cell, align) width -> pad align width cell)
+        (List.combine cells aligns) widths
+    in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let body =
+    List.map (function Separator -> rule | Cells cells -> render_cells cells) rows
+  in
+  String.concat "\n"
+    (("== " ^ t.title ^ " ==") :: rule :: render_cells headers :: rule
+    :: (body @ [ rule ]))
+
+let print t = print_endline (render t)
+
+let cell_f ?(decimals = 1) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_i v = string_of_int v
+
+let cell_pct v =
+  if Float.is_nan v then "-" else Printf.sprintf "%+.1f%%" (v *. 100.0)

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Monospace rendering with a title line, a header and column rules. *)
+
+val print : t -> unit
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell; [nan] renders as ["-"]. *)
+
+val cell_i : int -> string
+
+val cell_pct : float -> string
+(** Format a ratio as a signed percentage, e.g. [0.14 -> "+14.0%"]. *)

@@ -1,0 +1,20 @@
+(** Design-choice ablations beyond the paper's own figures.
+
+    The headline one quantifies the paper's central claim — that symmetric
+    cryptography (MAC vectors) rather than public-key signatures is what
+    makes BFT fast — by re-running the micro-benchmark with simulated
+    1024-bit signatures on every protocol message (the Rampart/SecureRing
+    design point the paper cites). The others sweep the checkpoint
+    interval, the batch-size bound and the batching window. *)
+
+val signatures : ?quick:bool -> unit -> Report.section list
+
+val checkpoint_interval : ?quick:bool -> unit -> Report.section list
+
+val batch_bound : ?quick:bool -> unit -> Report.section list
+
+val window : ?quick:bool -> unit -> Report.section list
+
+val recovery : ?quick:bool -> unit -> Report.section list
+
+val all : ?quick:bool -> unit -> Report.section list

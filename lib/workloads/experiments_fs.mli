@@ -1,0 +1,18 @@
+(** Reproduction of the Section 5 file-system benchmarks. *)
+
+val fig8 : ?quick:bool -> unit -> Report.section list
+(** Modified Andrew (Andrew100 and Andrew500): elapsed time for BFS,
+    NO-REP and NFS-STD. [quick] runs Andrew5/Andrew25-style reductions. *)
+
+val fig9 : ?quick:bool -> unit -> Report.section list
+(** PostMark: transactions per second for BFS, NO-REP and NFS-STD. *)
+
+val all : ?quick:bool -> unit -> Report.section list
+
+val run_andrew :
+  ?client_mem:int -> ?server_mem:int -> n:int -> Nfs_rig.backend -> float * int
+(** Elapsed seconds and NFS calls for one backend (used by bin/bft_lab). *)
+
+val run_postmark :
+  ?files:int -> ?transactions:int -> Nfs_rig.backend -> float * int
+(** Elapsed seconds and transaction count. *)

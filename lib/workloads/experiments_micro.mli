@@ -1,0 +1,32 @@
+(** Reproduction of the paper's micro-benchmark figures (Sections 4.2–4.4).
+    Each function runs the full experiment and returns printable sections
+    with paper-anchor checks. [quick] shrinks the sweep grids for use in
+    smoke runs. *)
+
+val fig2 : ?quick:bool -> unit -> Report.section list
+(** Latency vs result size (arg 8 B): BFT-RW, BFT-RO, NO-REP + slowdown. *)
+
+val fig3 : ?quick:bool -> unit -> Report.section list
+(** Latency vs argument size with f=1 (4 replicas) and f=2 (7 replicas). *)
+
+val fig4 : ?quick:bool -> unit -> Report.section list
+(** Throughput vs number of clients for operations 0/0, 0/4 and 4/0. *)
+
+val fig5 : ?quick:bool -> unit -> Report.section list
+(** Digest-replies optimization: latency vs result size and 0/4 throughput,
+    BFT vs BFT-NDR. *)
+
+val fig6 : ?quick:bool -> unit -> Report.section list
+(** Request batching: 0/0 read-write throughput with and without. *)
+
+val fig7 : ?quick:bool -> unit -> Report.section list
+(** Separate request transmission: latency vs argument size and 4/0
+    throughput, with and without. *)
+
+val tentative : ?quick:bool -> unit -> Report.section list
+(** Tentative-execution optimization (text numbers in Section 4.4). *)
+
+val piggyback : ?quick:bool -> unit -> Report.section list
+(** Piggybacked commits: +33% 0/0 throughput at 5 clients, +3% at 200. *)
+
+val all : ?quick:bool -> unit -> Report.section list

@@ -1,0 +1,168 @@
+open Bft_core
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Calibration = Bft_sim.Calibration
+module Network = Bft_net.Network
+module Stats = Bft_util.Stats
+module Rng = Bft_util.Rng
+
+type latency_result = { mean : float; stddev : float; ops : int }
+
+type throughput_result = {
+  ops_per_sec : float;
+  completed : int;
+  stalled_clients : int;
+  retransmissions : int;
+}
+
+let client_speed = 700.0 /. 600.0  (* the paper's latency client was 700 MHz *)
+
+let bft_latency ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42) ~arg ~res
+    ~read_only () =
+  let cluster =
+    Cluster.create ~seed ~client_machines:1 ~client_machine_speed:client_speed
+      ~config ~service:(fun _ -> Service.null ()) ()
+  in
+  let client = Cluster.add_client cluster in
+  let op = Service.null_op ~read_only ~arg_size:arg ~result_size:res in
+  let warmup = 8 in
+  let stats = Stats.create () in
+  let remaining = ref (warmup + ops) in
+  let rec loop () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Client.invoke client ~read_only op (fun outcome ->
+          if !remaining < ops then Stats.add stats outcome.Client.latency;
+          loop ())
+    end
+  in
+  loop ();
+  Cluster.run ~until:120.0 cluster;
+  { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
+
+(* A NO-REP rig: one server machine, [machines] client machines. *)
+let norep_rig ~seed ~machines ~clients ~retry =
+  let engine = Engine.create () in
+  let cal = Calibration.default in
+  let rng = Rng.of_int seed in
+  let net = Network.create engine cal ~rng:(Rng.split rng "network") in
+  (* The NO-REP server runs with stock (small) socket buffers — the reason
+     the paper's Figure 4 has no NO-REP points past 15 clients for 4/0. *)
+  let scpu = Cpu.create engine ~name:"server" () in
+  let snode = Network.add_node net ~cpu:scpu ~recv_buffer:0.005 ~name:"server" () in
+  let server = Norep.Server.create ~network:net ~node:snode ~service:(Service.null ()) () in
+  let cnodes =
+    Array.init machines (fun i ->
+        let speed = if machines = 1 then client_speed else 1.0 in
+        let cpu = Cpu.create engine ~speed ~name:(Printf.sprintf "clientm%d" i) () in
+        Network.add_node net ~cpu ~name:(Printf.sprintf "clientm%d" i) ())
+  in
+  let retry_timeout = if retry then Some 0.15 else None in
+  let clients =
+    List.init clients (fun i ->
+        Norep.Client.create ~network:net ~node:cnodes.(i mod machines) ~id:(100 + i)
+          ~server:snode ?retry_timeout ())
+  in
+  (engine, server, clients)
+
+let norep_latency ?(ops = 200) ?(seed = 42) ~arg ~res () =
+  let engine, _server, clients = norep_rig ~seed ~machines:1 ~clients:1 ~retry:true in
+  let client = List.hd clients in
+  let op = Service.null_op ~read_only:false ~arg_size:arg ~result_size:res in
+  let warmup = 8 in
+  let stats = Stats.create () in
+  let remaining = ref (warmup + ops) in
+  let rec loop () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Norep.Client.invoke client op (fun outcome ->
+          if !remaining < ops then Stats.add stats outcome.Norep.Client.latency;
+          loop ())
+    end
+  in
+  loop ();
+  Engine.run ~until:120.0 engine;
+  { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
+
+let measure_window ~engine ~warmup ~window ~per_client_counts =
+  (* per_client_counts () returns current completion counts. *)
+  Engine.run ~until:warmup engine;
+  let before = per_client_counts () in
+  Engine.run ~until:(warmup +. window) engine;
+  let after = per_client_counts () in
+  let completed =
+    List.fold_left2 (fun acc a b -> acc + (b - a)) 0 before after
+  in
+  let stalled =
+    List.fold_left2 (fun acc a b -> if b = a then acc + 1 else acc) 0 before after
+  in
+  (completed, stalled)
+
+let bft_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42) ?(warmup = 0.5)
+    ?(window = 1.0) ~arg ~res ~read_only ~clients () =
+  let cluster =
+    Cluster.create ~seed ~client_machines:5 ~config
+      ~service:(fun _ -> Service.null ()) ()
+  in
+  let op = Service.null_op ~read_only ~arg_size:arg ~result_size:res in
+  let client_list = List.init clients (fun _ -> Cluster.add_client cluster) in
+  (* Stagger start times: real benchmark clients never fire in the same
+     microsecond, and a synchronized burst of large requests would blow
+     through any receive buffer. *)
+  let stagger = Rng.split (Rng.of_int seed) "stagger" in
+  List.iter
+    (fun client ->
+      let rec loop () = Client.invoke client ~read_only op (fun _ -> loop ()) in
+      Engine.schedule (Cluster.engine cluster)
+        ~delay:(Rng.float stagger 0.1)
+        loop)
+    client_list;
+  let counts () =
+    List.map (fun c -> Metrics.count (Client.metrics c) "ops.completed") client_list
+  in
+  let completed, stalled =
+    measure_window ~engine:(Cluster.engine cluster) ~warmup ~window
+      ~per_client_counts:counts
+  in
+  let retransmissions =
+    List.fold_left
+      (fun acc c -> acc + Metrics.count (Client.metrics c) "ops.retransmitted")
+      0 client_list
+  in
+  {
+    ops_per_sec = float_of_int completed /. window;
+    completed;
+    stalled_clients = stalled;
+    retransmissions;
+  }
+
+let norep_throughput ?(seed = 42) ?(warmup = 0.5) ?(window = 1.0) ?(retry = false)
+    ~arg ~res ~clients () =
+  let engine, _server, client_list =
+    norep_rig ~seed ~machines:5 ~clients ~retry
+  in
+  let op = Service.null_op ~read_only:false ~arg_size:arg ~result_size:res in
+  let stagger = Rng.split (Rng.of_int seed) "stagger" in
+  List.iter
+    (fun client ->
+      let rec loop () = Norep.Client.invoke client op (fun _ -> loop ()) in
+      Engine.schedule engine ~delay:(Rng.float stagger 0.1) loop)
+    client_list;
+  let counts () =
+    List.map
+      (fun c -> Metrics.count (Norep.Client.metrics c) "ops.completed")
+      client_list
+  in
+  let completed, stalled =
+    measure_window ~engine ~warmup ~window ~per_client_counts:counts
+  in
+  let retransmissions =
+    List.fold_left
+      (fun acc c -> acc + Metrics.count (Norep.Client.metrics c) "ops.retransmitted")
+      0 client_list
+  in
+  let ops_per_sec =
+    if (not retry) && stalled * 4 > clients then nan
+    else float_of_int completed /. window
+  in
+  { ops_per_sec; completed; stalled_clients = stalled; retransmissions }

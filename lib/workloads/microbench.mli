@@ -1,0 +1,58 @@
+(** Micro-benchmark drivers for the paper's "simple service": operations
+    with an [a]-byte argument and a [b]-byte zero-filled result, read-write
+    or read-only, against BFT (any configuration) or NO-REP. *)
+
+type latency_result = {
+  mean : float;  (** seconds *)
+  stddev : float;
+  ops : int;
+}
+
+val bft_latency :
+  ?config:Bft_core.Config.t ->
+  ?ops:int ->
+  ?seed:int ->
+  arg:int ->
+  res:int ->
+  read_only:bool ->
+  unit ->
+  latency_result
+(** Single client (700 MHz, as in Figures 2–3), ops invoked back to back. *)
+
+val norep_latency :
+  ?ops:int -> ?seed:int -> arg:int -> res:int -> unit -> latency_result
+
+type throughput_result = {
+  ops_per_sec : float;  (** [nan] when the run stalled (NO-REP losses) *)
+  completed : int;
+  stalled_clients : int;
+  retransmissions : int;
+}
+
+val bft_throughput :
+  ?config:Bft_core.Config.t ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?window:float ->
+  arg:int ->
+  res:int ->
+  read_only:bool ->
+  clients:int ->
+  unit ->
+  throughput_result
+(** Clients spread over 5 client machines, closed loop, measured over
+    [window] seconds after [warmup]. *)
+
+val norep_throughput :
+  ?seed:int ->
+  ?warmup:float ->
+  ?window:float ->
+  ?retry:bool ->
+  arg:int ->
+  res:int ->
+  clients:int ->
+  unit ->
+  throughput_result
+(** [retry = false] (paper behaviour): lost requests stall their client;
+    when more than a quarter of the clients stall, [ops_per_sec] is [nan]
+    (the paper plots no such points). *)

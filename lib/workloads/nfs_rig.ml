@@ -1,0 +1,111 @@
+open Bft_core
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Calibration = Bft_sim.Calibration
+module Network = Bft_net.Network
+module Rng = Bft_util.Rng
+module Proto = Bft_nfs.Proto
+module Nfs_service = Bft_nfs.Nfs_service
+module Nfs_std = Bft_nfs.Nfs_std
+
+type backend = Bfs | Norep_fs | Nfs_std_fs
+
+let backend_name = function
+  | Bfs -> "BFS"
+  | Norep_fs -> "NO-REP"
+  | Nfs_std_fs -> "NFS-STD"
+
+type t = {
+  engine : Engine.t;
+  client_cpu : Cpu.t;
+  invoke : read_only:bool -> Payload.t -> (Payload.t -> unit) -> unit;
+  server_fs : Bft_nfs.Fs.t option;
+}
+
+let engine t = t.engine
+
+let client_cpu t = t.client_cpu
+
+let server_fs t = t.server_fs
+
+let make backend ?(seed = 42) ?(params = Nfs_service.default_params) () =
+  match backend with
+  | Bfs ->
+    let config = Config.make ~f:1 () in
+    let services = Array.init config.Config.n (fun _ -> Nfs_service.create ~params ()) in
+    let cluster =
+      Cluster.create ~seed ~client_machines:1 ~config
+        ~service:(fun i -> services.(i)) ()
+    in
+    let client = Cluster.add_client cluster in
+    let invoke ~read_only op k =
+      Client.invoke client ~read_only op (fun outcome -> k outcome.Client.result)
+    in
+    {
+      engine = Cluster.engine cluster;
+      client_cpu =
+        Network.node_cpu (Cluster.network cluster) (config.Config.n (* machine 0 *));
+      invoke;
+      server_fs = Nfs_service.fs_of services.(0);
+    }
+  | Norep_fs ->
+    let engine = Engine.create () in
+    let cal = Calibration.default in
+    let net = Network.create engine cal ~rng:(Rng.of_int seed) in
+    let scpu = Cpu.create engine ~name:"server" () in
+    let snode = Network.add_node net ~cpu:scpu ~name:"server" () in
+    let service = Nfs_service.create ~params () in
+    let _server = Norep.Server.create ~network:net ~node:snode ~service () in
+    let ccpu = Cpu.create engine ~name:"client" () in
+    let cnode = Network.add_node net ~cpu:ccpu ~name:"client" () in
+    let client =
+      Norep.Client.create ~network:net ~node:cnode ~id:100 ~server:snode
+        ~retry_timeout:0.3 ()
+    in
+    let invoke ~read_only op k =
+      ignore read_only;
+      Norep.Client.invoke client op (fun o -> k o.Norep.Client.result)
+    in
+    { engine; client_cpu = ccpu; invoke; server_fs = Nfs_service.fs_of service }
+  | Nfs_std_fs ->
+    let engine = Engine.create () in
+    let cal = Calibration.default in
+    let net = Network.create engine cal ~rng:(Rng.of_int seed) in
+    let scpu = Cpu.create engine ~name:"nfsd" () in
+    let snode = Network.add_node net ~cpu:scpu ~name:"nfsd" () in
+    let server = Nfs_std.create ~network:net ~node:snode ~params () in
+    let ccpu = Cpu.create engine ~name:"client" () in
+    let cnode = Network.add_node net ~cpu:ccpu ~name:"client" () in
+    let client =
+      Norep.Client.create ~network:net ~node:cnode ~id:100 ~server:snode
+        ~retry_timeout:0.3 ()
+    in
+    let invoke ~read_only op k =
+      ignore read_only;
+      Norep.Client.invoke client op (fun o -> k o.Norep.Client.result)
+    in
+    { engine; client_cpu = ccpu; invoke; server_fs = Some (Nfs_std.fs server) }
+
+type step = Compute of float | Call of Proto.call | Phase of string
+
+let run t ?(on_phase = fun ~name:_ ~elapsed:_ -> ()) ~on_done steps =
+  let started = Engine.now t.engine in
+  let phase_started = ref started in
+  let calls = ref 0 in
+  let rec exec = function
+    | [] ->
+      on_done ~elapsed:(Engine.now t.engine -. started) ~calls:!calls
+    | Compute dt :: rest ->
+      Cpu.charge t.client_cpu dt;
+      Engine.schedule_at t.engine (Cpu.busy_until t.client_cpu) (fun () -> exec rest)
+    | Call call :: rest ->
+      incr calls;
+      t.invoke ~read_only:(Proto.is_read_only call) (Proto.encode_call call)
+        (fun _reply -> exec rest)
+    | Phase name :: rest ->
+      let now = Engine.now t.engine in
+      on_phase ~name ~elapsed:(now -. !phase_started);
+      phase_started := now;
+      exec rest
+  in
+  exec steps

@@ -1,0 +1,46 @@
+module Table = Bft_util.Table
+
+type anchor = {
+  description : string;
+  paper : string;
+  measured : string;
+  ok : bool;
+}
+
+type section = {
+  id : string;
+  title : string;
+  table : Table.t;
+  anchors : anchor list;
+}
+
+let print section =
+  Printf.printf "\n### %s — %s\n\n" section.id section.title;
+  Table.print section.table;
+  if section.anchors <> [] then begin
+    Printf.printf "\nPaper anchors:\n";
+    List.iter
+      (fun a ->
+        Printf.printf "  [%s] %s: paper %s, measured %s\n"
+          (if a.ok then "ok" else "??")
+          a.description a.paper a.measured)
+      section.anchors
+  end;
+  flush stdout
+
+let anchor ~description ~paper ~measured ~ok = { description; paper; measured; ok }
+
+let ratio_anchor ~description ~paper_ratio ~measured ~tolerance =
+  let ok =
+    (not (Float.is_nan measured))
+    && Float.abs (measured -. paper_ratio) <= tolerance *. Float.abs paper_ratio
+  in
+  {
+    description;
+    paper = Printf.sprintf "%.2f" paper_ratio;
+    measured = (if Float.is_nan measured then "-" else Printf.sprintf "%.2f" measured);
+    ok;
+  }
+
+let direction_anchor ~description ~paper ~holds ~measured =
+  { description; paper; measured; ok = holds }

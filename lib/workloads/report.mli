@@ -1,0 +1,31 @@
+(** Experiment output: one section per paper figure, carrying both the
+    rendered table and the paper-anchor comparisons recorded into
+    EXPERIMENTS.md. *)
+
+type anchor = {
+  description : string;
+  paper : string;  (** what the paper reports *)
+  measured : string;  (** what this reproduction measures *)
+  ok : bool;  (** does the shape/direction hold? *)
+}
+
+type section = {
+  id : string;  (** e.g. "fig4" *)
+  title : string;
+  table : Bft_util.Table.t;
+  anchors : anchor list;
+}
+
+val print : section -> unit
+
+val anchor :
+  description:string -> paper:string -> measured:string -> ok:bool -> anchor
+
+val ratio_anchor :
+  description:string -> paper_ratio:float -> measured:float -> tolerance:float ->
+  anchor
+(** Anchor comparing a measured ratio against the paper's, accepting a
+    relative [tolerance] (e.g. 0.5 = within 50%). *)
+
+val direction_anchor :
+  description:string -> paper:string -> holds:bool -> measured:string -> anchor

@@ -1,0 +1,13 @@
+(* Test helper: execute one NFS call directly against a file system,
+   reporting protocol-level errors as failures (used to validate that the
+   workload generators emit streams that replay cleanly). *)
+
+module Fs = Bft_nfs.Fs
+module Proto = Bft_nfs.Proto
+
+let execute fs call =
+  let reply, _undo = Bft_nfs.Nfs_service.execute_call fs call in
+  match reply with
+  | Proto.Err e ->
+    Error (Printf.sprintf "%s -> %s" (Proto.call_name call) (Fs.error_name e))
+  | _ -> Ok ()

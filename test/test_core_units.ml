@@ -1,0 +1,338 @@
+(* Unit tests for the smaller core modules: payload, config, metrics,
+   behavior, types, merkle, transport, dispatcher, recovery scheduler. *)
+
+open Bft_core
+module Fingerprint = Bft_crypto.Fingerprint
+module Keychain = Bft_crypto.Keychain
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Network = Bft_net.Network
+
+let check = Alcotest.check
+
+(* --- payload ------------------------------------------------------------ *)
+
+let test_payload_model () =
+  check Alcotest.int "zeros size" 4096 (Payload.size (Payload.zeros 4096));
+  check Alcotest.int "string size" 5 (Payload.size (Payload.of_string "hello"));
+  check Alcotest.int "mixed" 105
+    (Payload.size { Payload.data = String.make 5 'x'; pad = 100 });
+  check Alcotest.bool "digest commits to pad" false
+    (Fingerprint.equal
+       (Payload.digest (Payload.zeros 100))
+       (Payload.digest (Payload.zeros 101)));
+  check Alcotest.bool "pad is not data" false
+    (Fingerprint.equal
+       (Payload.digest (Payload.of_string "\000"))
+       (Payload.digest (Payload.zeros 1)));
+  Alcotest.check_raises "negative" (Invalid_argument "Payload.zeros") (fun () ->
+      ignore (Payload.zeros (-1)))
+
+let test_payload_codec () =
+  let p = { Payload.data = "content"; pad = 512 } in
+  let enc = Bft_util.Codec.Enc.create () in
+  Payload.encode enc p;
+  let p' = Payload.decode (Bft_util.Codec.Dec.of_string (Bft_util.Codec.Enc.to_string enc)) in
+  check Alcotest.bool "roundtrip" true (Payload.equal p p')
+
+(* --- types / config ------------------------------------------------------ *)
+
+let test_primary_rotation () =
+  check Alcotest.int "v0" 0 (Types.primary_of_view ~n:4 0);
+  check Alcotest.int "v1" 1 (Types.primary_of_view ~n:4 1);
+  check Alcotest.int "v4 wraps" 0 (Types.primary_of_view ~n:4 4);
+  check Alcotest.int "quorum f=1" 3 (Types.quorum ~f:1);
+  check Alcotest.int "quorum f=2" 5 (Types.quorum ~f:2);
+  check Alcotest.int "weak f=2" 3 (Types.weak_quorum ~f:2)
+
+let test_config_validation () =
+  check Alcotest.bool "default valid" true
+    (Result.is_ok (Config.validate (Config.make ~f:1 ())));
+  check Alcotest.bool "f=0 invalid" true
+    (Result.is_error (Config.validate (Config.make ~f:0 ())));
+  check Alcotest.bool "window too small" true
+    (Result.is_error
+       (Config.validate (Config.make ~f:1 ~checkpoint_interval:100 ~log_window:100 ())));
+  let c = Config.make ~f:3 () in
+  check Alcotest.int "n = 3f+1" 10 c.Config.n
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  check Alcotest.int "absent" 0 (Metrics.count m "x");
+  Metrics.incr m "x";
+  Metrics.incr ~by:4 m "x";
+  check Alcotest.int "count" 5 (Metrics.count m "x");
+  Metrics.sample m "lat" 1.0;
+  Metrics.sample m "lat" 3.0;
+  (match Metrics.samples m "lat" with
+  | Some s -> check (Alcotest.float 1e-9) "mean" 2.0 (Bft_util.Stats.mean s)
+  | None -> Alcotest.fail "no samples");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "counters sorted" [ ("x", 5) ] (Metrics.counters m);
+  Metrics.reset m;
+  check Alcotest.int "reset" 0 (Metrics.count m "x")
+
+(* --- behavior ------------------------------------------------------------ *)
+
+let test_behavior_classification () =
+  check Alcotest.bool "correct" true (Behavior.is_correct Behavior.Correct);
+  check Alcotest.bool "slow is correct" true (Behavior.is_correct (Behavior.Slow 0.01));
+  List.iter
+    (fun b -> check Alcotest.bool "faulty" false (Behavior.is_correct b))
+    [
+      Behavior.Crash_at 1.0; Behavior.Mute; Behavior.Two_faced;
+      Behavior.Corrupt_replies; Behavior.Forge_auth; Behavior.Stale_view;
+    ]
+
+(* --- merkle --------------------------------------------------------------- *)
+
+let test_merkle_paginate_reassemble () =
+  let cases =
+    [
+      Payload.empty;
+      Payload.of_string "small";
+      Payload.of_string (String.make (Merkle.page_size + 100) 'x');
+      { Payload.data = String.make 100 'd'; pad = 3 * Merkle.page_size };
+      Payload.zeros (2 * Merkle.page_size);
+      { Payload.data = String.make Merkle.page_size 'd'; pad = 1 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let pages = Merkle.paginate p in
+      check Alcotest.bool "roundtrip" true (Payload.equal p (Merkle.reassemble pages));
+      Array.iter
+        (fun page ->
+          check Alcotest.bool "page bounded" true
+            (Payload.size page <= Merkle.page_size))
+        pages)
+    cases
+
+let test_merkle_root_and_diff () =
+  let p1 = Payload.of_string (String.make 10000 'a') in
+  let p2 = Payload.of_string (String.make 4096 'a' ^ String.make 5904 'b') in
+  let d1 = Merkle.page_digests (Merkle.paginate p1) in
+  let d2 = Merkle.page_digests (Merkle.paginate p2) in
+  check Alcotest.bool "roots differ" false
+    (Fingerprint.equal (Merkle.root d1) (Merkle.root d2));
+  check Alcotest.bool "same root same pages" true
+    (Fingerprint.equal (Merkle.root d1)
+       (Merkle.root (Merkle.page_digests (Merkle.paginate p1))));
+  (* only the pages after the shared 4 KB prefix differ *)
+  check (Alcotest.list Alcotest.int) "diff" [ 1; 2 ] (Merkle.diff ~mine:d1 ~theirs:d2);
+  check (Alcotest.list Alcotest.int) "no diff" [] (Merkle.diff ~mine:d1 ~theirs:d1);
+  (* longer target: the extra pages are missing *)
+  let p3 = Payload.of_string (String.make 20000 'a') in
+  let d3 = Merkle.page_digests (Merkle.paginate p3) in
+  check Alcotest.bool "extra pages missing" true
+    (List.mem 4 (Merkle.diff ~mine:d1 ~theirs:d3))
+
+let merkle_roundtrip_prop =
+  QCheck.Test.make ~name:"merkle paginate/reassemble roundtrip" ~count:100
+    QCheck.(pair (string_of_size (Gen.int_bound 10000)) (int_bound 20000))
+    (fun (data, pad) ->
+      let p = { Payload.data; pad } in
+      Payload.equal p (Merkle.reassemble (Merkle.paginate p)))
+
+(* --- transport ------------------------------------------------------------ *)
+
+type trig = {
+  engine : Engine.t;
+  net : Network.t;
+  transports : Transport.t array;
+  received : (int * Message.envelope) list ref;
+}
+
+let make_trig () =
+  let engine = Engine.create () in
+  let net = Network.create engine Bft_sim.Calibration.default ~rng:(Bft_util.Rng.of_int 3) in
+  let received = ref [] in
+  let transports =
+    Array.init 3 (fun i ->
+        let cpu = Cpu.create engine ~name:(Printf.sprintf "n%d" i) () in
+        let node = Network.add_node net ~cpu ~name:(Printf.sprintf "n%d" i) () in
+        let keychain = Keychain.create ~master:"m" ~self:i () in
+        Transport.create net ~keychain ~node ())
+  in
+  Array.iteri
+    (fun i transport ->
+      let dispatcher = Dispatcher.install net (Transport.node transport) in
+      Dispatcher.register_default dispatcher (fun ~wire ~prefix_len ~size env ->
+          if Transport.check transport ~wire ~prefix_len ~size env then
+            received := (i, env) :: !received))
+    transports;
+  { engine; net; transports; received }
+
+let peer_of r i = { Transport.principal = i; node = Transport.node r.transports.(i) }
+
+let sample_msg =
+  Message.Checkpoint { Message.seq = 1; digest = Fingerprint.of_string "x"; replica = 0 }
+
+let test_transport_send_verifies () =
+  let r = make_trig () in
+  Transport.send r.transports.(0) ~dst:(peer_of r 1) sample_msg;
+  Engine.run r.engine;
+  match !(r.received) with
+  | [ (1, env) ] -> check Alcotest.int "sender" 0 env.Message.sender
+  | _ -> Alcotest.fail "expected one verified delivery"
+
+let test_transport_multicast () =
+  let r = make_trig () in
+  Transport.multicast r.transports.(0) ~dsts:[ peer_of r 1; peer_of r 2 ] sample_msg;
+  Engine.run r.engine;
+  check Alcotest.int "both verified" 2 (List.length !(r.received))
+
+let test_transport_corrupt_auth_rejected () =
+  let r = make_trig () in
+  Transport.set_corrupt_auth r.transports.(0) true;
+  Transport.send r.transports.(0) ~dst:(peer_of r 1) sample_msg;
+  Engine.run r.engine;
+  check Alcotest.int "rejected" 0 (List.length !(r.received))
+
+let test_transport_tamper_hook () =
+  let r = make_trig () in
+  Transport.set_tamper r.transports.(0)
+    (Some
+       (fun _ ->
+         Message.Checkpoint
+           { Message.seq = 999; digest = Fingerprint.of_string "t"; replica = 0 }));
+  Transport.send r.transports.(0) ~dst:(peer_of r 1) sample_msg;
+  Engine.run r.engine;
+  (* tampering happens before signing, so it still authenticates *)
+  match !(r.received) with
+  | [ (1, { Message.msg = Message.Checkpoint { seq = 999; _ }; _ }) ] -> ()
+  | _ -> Alcotest.fail "tampered message should be delivered as sent"
+
+let test_transport_charges_cpu () =
+  let r = make_trig () in
+  let cpu = Transport.cpu r.transports.(0) in
+  let before = Cpu.total_busy cpu in
+  Transport.send r.transports.(0) ~dst:(peer_of r 1)
+    (Message.Request
+       {
+         Message.client = 0;
+         timestamp = 1L;
+         read_only = false;
+         full_replies = false;
+         replier = -1;
+         op = Payload.zeros 100_000;
+       });
+  check Alcotest.bool "digest cost charged" true
+    (Cpu.total_busy cpu -. before > 0.0005)
+
+(* --- dispatcher ------------------------------------------------------------ *)
+
+let test_dispatcher_routes_replies () =
+  let engine = Engine.create () in
+  let net = Network.create engine Bft_sim.Calibration.default ~rng:(Bft_util.Rng.of_int 4) in
+  let cpu = Cpu.create engine ~name:"m" () in
+  let node = Network.add_node net ~cpu ~name:"m" () in
+  let d = Dispatcher.install net node in
+  let got_client = ref 0 and got_default = ref 0 in
+  Dispatcher.register_client d 101 (fun ~wire:_ ~prefix_len:_ ~size:_ _ -> incr got_client);
+  Dispatcher.register_default d (fun ~wire:_ ~prefix_len:_ ~size:_ _ -> incr got_default);
+  let send msg =
+    let env = { Message.sender = 0; msg; commits = []; auth = { Bft_crypto.Auth.nonce = 0L; entries = [] } } in
+    Network.send net ~src:node ~dst:node (Message.encode_envelope env)
+  in
+  send
+    (Message.Reply
+       {
+         Message.view = 0; timestamp = 1L; client = 101; replica = 0;
+         tentative = false; epoch = 0; body = Message.Result_digest (Fingerprint.of_string "r");
+       });
+  send
+    (Message.Reply
+       {
+         Message.view = 0; timestamp = 1L; client = 999; replica = 0;
+         tentative = false; epoch = 0; body = Message.Result_digest (Fingerprint.of_string "r");
+       });
+  send sample_msg;
+  Network.send net ~src:node ~dst:node "garbage";
+  Engine.run engine;
+  check Alcotest.int "client reply routed" 1 !got_client;
+  check Alcotest.int "unknown reply + other msgs to default" 2 !got_default;
+  check Alcotest.int "garbage dropped" 1 (Dispatcher.malformed d)
+
+(* --- recovery scheduler ------------------------------------------------------ *)
+
+let test_recovery_scheduler_rotation () =
+  let config = Config.make ~f:1 ~checkpoint_interval:8 ~log_window:16 () in
+  let cluster = Cluster.create ~config ~service:(fun _ -> Service.null ()) () in
+  let client = Cluster.add_client cluster in
+  let rec loop () =
+    Client.invoke client (Service.null_op ~read_only:false ~arg_size:8 ~result_size:8)
+      (fun _ -> loop ())
+  in
+  loop ();
+  let sched =
+    Recovery_scheduler.start ~engine:(Cluster.engine cluster)
+      ~replicas:(Cluster.replicas cluster) ~period:0.4
+  in
+  Cluster.run ~until:1.0 cluster;
+  Recovery_scheduler.stop sched;
+  Cluster.run ~until:1.4 cluster;
+  let started_after_stop = Recovery_scheduler.recoveries_started sched in
+  Cluster.run ~until:2.0 cluster;
+  (* one recovery per period/n = 0.1s: ~9 in the first second *)
+  check Alcotest.bool "rotated through replicas" true
+    (Recovery_scheduler.recoveries_started sched >= 8);
+  check Alcotest.int "stop stops" started_after_stop
+    (Recovery_scheduler.recoveries_started sched);
+  check (Alcotest.float 1e-9) "window" 0.8 (Recovery_scheduler.window_of_vulnerability sched);
+  (* every replica recovered at least once and the service kept running *)
+  Array.iter
+    (fun r ->
+      check Alcotest.bool "replica recovered" true
+        (Metrics.count (Replica.metrics r) "recovery.started" >= 1))
+    (Cluster.replicas cluster)
+
+let test_replica_dump () =
+  let config = Config.make ~f:1 () in
+  let cluster = Cluster.create ~config ~service:(fun _ -> Service.null ()) () in
+  let dump = Replica.dump (Cluster.replica cluster 0) in
+  check Alcotest.bool "mentions replica" true
+    (String.length dump > 0 && String.sub dump 0 9 = "replica 0")
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20010701 |]) in
+  Alcotest.run "core-units"
+    [
+      ( "payload",
+        [
+          Alcotest.test_case "size model" `Quick test_payload_model;
+          Alcotest.test_case "codec" `Quick test_payload_codec;
+        ] );
+      ( "types+config",
+        [
+          Alcotest.test_case "primary rotation" `Quick test_primary_rotation;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters and samples" `Quick test_metrics ]);
+      ( "behavior",
+        [ Alcotest.test_case "classification" `Quick test_behavior_classification ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "paginate/reassemble" `Quick
+            test_merkle_paginate_reassemble;
+          Alcotest.test_case "root and diff" `Quick test_merkle_root_and_diff;
+          q merkle_roundtrip_prop;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "send verifies" `Quick test_transport_send_verifies;
+          Alcotest.test_case "multicast" `Quick test_transport_multicast;
+          Alcotest.test_case "corrupt auth rejected" `Quick
+            test_transport_corrupt_auth_rejected;
+          Alcotest.test_case "tamper hook" `Quick test_transport_tamper_hook;
+          Alcotest.test_case "charges cpu" `Quick test_transport_charges_cpu;
+        ] );
+      ( "dispatcher",
+        [ Alcotest.test_case "routing" `Quick test_dispatcher_routes_replies ] );
+      ( "recovery scheduler",
+        [ Alcotest.test_case "rotation" `Quick test_recovery_scheduler_rotation ] );
+      ("dump", [ Alcotest.test_case "replica dump" `Quick test_replica_dump ]);
+    ]

@@ -1,0 +1,255 @@
+(* Tests for Bft_crypto: MD5 against the RFC 1321 suite, HMAC against
+   RFC 2202, MAC tags, keychain epochs and MAC-vector authenticators. *)
+
+open Bft_crypto
+
+let check = Alcotest.check
+
+(* --- MD5: the full RFC 1321 appendix A.5 test suite -------------------- *)
+
+let rfc1321_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let test_md5_vectors () =
+  List.iter
+    (fun (input, expected) -> check Alcotest.string input expected (Md5.hex input))
+    rfc1321_vectors
+
+let test_md5_incremental_equals_oneshot () =
+  (* Feed the same bytes in many chunkings; all must agree. *)
+  let data = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let expected = Md5.digest data in
+  List.iter
+    (fun chunk ->
+      let ctx = Md5.init () in
+      let rec go off =
+        if off < String.length data then begin
+          let len = Stdlib.min chunk (String.length data - off) in
+          Md5.update_sub ctx data off len;
+          go (off + len)
+        end
+      in
+      go 0;
+      check Alcotest.string
+        (Printf.sprintf "chunk %d" chunk)
+        (Md5.to_hex expected)
+        (Md5.to_hex (Md5.finalize ctx)))
+    [ 1; 3; 63; 64; 65; 128; 1000 ]
+
+let test_md5_block_boundaries () =
+  (* Lengths around the 64-byte block and 56-byte padding boundary. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let ctx = Md5.init () in
+      Md5.update ctx s;
+      check Alcotest.string (string_of_int n) (Md5.hex s) (Md5.to_hex (Md5.finalize ctx)))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 121; 127; 128; 129 ]
+
+let test_md5_update_sub_bounds () =
+  let ctx = Md5.init () in
+  Alcotest.check_raises "bad range" (Invalid_argument "Md5.update_sub") (fun () ->
+      Md5.update_sub ctx "abc" 1 5)
+
+let test_to_hex () =
+  check Alcotest.string "hex" "00ff10" (Md5.to_hex "\x00\xff\x10")
+
+(* --- HMAC-MD5: RFC 2202 vectors ---------------------------------------- *)
+
+let test_hmac_rfc2202 () =
+  let cases =
+    [
+      (String.make 16 '\x0b', "Hi There", "9294727a3638bb1c13f48ef8158bfc9d");
+      ("Jefe", "what do ya want for nothing?", "750c783e6ab0b503eaa86e310a5db738");
+      ( String.make 16 '\xaa',
+        String.make 50 '\xdd',
+        "56be34521d144c88dbb8c733f0e8b3f6" );
+      ( String.make 80 '\xaa',
+        "Test Using Larger Than Block-Size Key - Hash Key First",
+        "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd" );
+      ( String.make 80 '\xaa',
+        "Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+        "6f630fad67cda0ee1fb1f562db3aa53e" );
+    ]
+  in
+  List.iter
+    (fun (key, data, expected) ->
+      check Alcotest.string data expected (Hmac.hex ~key data))
+    cases
+
+(* --- MAC tags ----------------------------------------------------------- *)
+
+let test_mac_verify () =
+  let tag = Mac.compute ~key:"secret" ~nonce:42L "message" in
+  check Alcotest.int "tag size" Mac.tag_size (String.length tag);
+  check Alcotest.bool "verifies" true (Mac.verify ~key:"secret" ~nonce:42L "message" tag);
+  check Alcotest.bool "wrong key" false
+    (Mac.verify ~key:"other" ~nonce:42L "message" tag);
+  check Alcotest.bool "wrong nonce" false
+    (Mac.verify ~key:"secret" ~nonce:43L "message" tag);
+  check Alcotest.bool "wrong msg" false
+    (Mac.verify ~key:"secret" ~nonce:42L "massage" tag)
+
+let test_mac_equal_lengths () =
+  check Alcotest.bool "different lengths" false (Mac.equal "abc" "abcd");
+  check Alcotest.bool "equal" true (Mac.equal "abcd" "abcd")
+
+(* --- keychain ------------------------------------------------------------ *)
+
+let test_keychain_pairwise_agreement () =
+  let a = Keychain.create ~master:"m" ~self:0 () in
+  let b = Keychain.create ~master:"m" ~self:1 () in
+  (* The key 0 uses to send to 1 must be the key 1 expects from 0. *)
+  check Alcotest.string "0->1" (Keychain.send_key a 1) (Keychain.recv_key b 0);
+  check Alcotest.string "1->0" (Keychain.send_key b 0) (Keychain.recv_key a 1);
+  check Alcotest.bool "directional keys differ" true
+    (Keychain.send_key a 1 <> Keychain.send_key b 0)
+
+let test_keychain_epoch_refresh () =
+  let a = Keychain.create ~master:"m" ~self:0 () in
+  let b = Keychain.create ~master:"m" ~self:1 () in
+  let old_key = Keychain.send_key a 1 in
+  Keychain.refresh b;
+  (* Until 0 observes the new epoch it still uses the stale key... *)
+  check Alcotest.string "stale send key" old_key (Keychain.send_key a 1);
+  check Alcotest.bool "receiver rejects stale" true
+    (Keychain.recv_key b 0 <> old_key);
+  (* ...and after observing, they agree again. *)
+  Keychain.observe_epoch a ~peer:1 (Keychain.epoch b ~peer:0);
+  check Alcotest.string "fresh agreement" (Keychain.send_key a 1)
+    (Keychain.recv_key b 0)
+
+let test_keychain_stale_epoch_ignored () =
+  let a = Keychain.create ~master:"m" ~self:0 () in
+  Keychain.observe_epoch a ~peer:1 5;
+  Keychain.observe_epoch a ~peer:1 3;
+  let key5 =
+    let b = Keychain.create ~master:"m" ~self:1 () in
+    for _ = 1 to 5 do
+      Keychain.refresh b
+    done;
+    Keychain.recv_key b 0
+  in
+  check Alcotest.string "keeps newest epoch" key5 (Keychain.send_key a 1)
+
+(* --- authenticators ------------------------------------------------------ *)
+
+let make_chains n = Array.init n (fun i -> Keychain.create ~master:"m" ~self:i ())
+
+let test_auth_vector () =
+  let chains = make_chains 4 in
+  let auth =
+    Auth.generate chains.(0) ~nonce:1L ~targets:[ 1; 2; 3 ] "payload"
+  in
+  for i = 1 to 3 do
+    check Alcotest.bool
+      (Printf.sprintf "replica %d accepts" i)
+      true
+      (Auth.check chains.(i) ~from:0 "payload" auth)
+  done;
+  (* A principal with no entry rejects. *)
+  check Alcotest.bool "no entry" false (Auth.check chains.(0) ~from:0 "payload" auth)
+
+let test_auth_rejects_tamper () =
+  let chains = make_chains 2 in
+  let auth = Auth.generate chains.(0) ~nonce:9L ~targets:[ 1 ] "payload" in
+  check Alcotest.bool "wrong message" false
+    (Auth.check chains.(1) ~from:0 "paylode" auth);
+  check Alcotest.bool "wrong sender claimed" false
+    (Auth.check chains.(1) ~from:1 "payload" auth)
+
+let test_auth_corrupt () =
+  let chains = make_chains 2 in
+  let auth = Auth.single chains.(0) ~nonce:2L ~to_:1 "x" in
+  check Alcotest.bool "valid" true (Auth.check chains.(1) ~from:0 "x" auth);
+  check Alcotest.bool "corrupted fails" false
+    (Auth.check chains.(1) ~from:0 "x" (Auth.corrupt auth))
+
+let test_auth_wire_roundtrip () =
+  let chains = make_chains 4 in
+  let auth = Auth.generate chains.(2) ~nonce:77L ~targets:[ 0; 1; 3 ] "m" in
+  let enc = Bft_util.Codec.Enc.create () in
+  Auth.encode enc auth;
+  let encoded = Bft_util.Codec.Enc.to_string enc in
+  check Alcotest.int "wire size accounting" (Auth.wire_size auth)
+    (String.length encoded);
+  let decoded = Auth.decode (Bft_util.Codec.Dec.of_string encoded) in
+  check Alcotest.bool "still verifies" true (Auth.check chains.(0) ~from:2 "m" decoded)
+
+(* --- fingerprints --------------------------------------------------------- *)
+
+let test_fingerprint_parts_unambiguous () =
+  (* ["ab";"c"] and ["a";"bc"] must not collide (length prefixing). *)
+  check Alcotest.bool "no concat collision" true
+    (not (Fingerprint.equal (Fingerprint.of_parts [ "ab"; "c" ])
+            (Fingerprint.of_parts [ "a"; "bc" ])))
+
+let test_fingerprint_basic () =
+  check Alcotest.int "size" 16 (String.length (Fingerprint.of_string "x"));
+  check Alcotest.bool "equal" true
+    (Fingerprint.equal (Fingerprint.of_string "x") (Fingerprint.of_string "x"));
+  check Alcotest.int "zero size" 16 (String.length Fingerprint.zero)
+
+let md5_incremental_prop =
+  QCheck.Test.make ~name:"md5 split point irrelevant" ~count:100
+    QCheck.(pair string small_nat)
+    (fun (s, k) ->
+      let k = if String.length s = 0 then 0 else k mod (String.length s + 1) in
+      let ctx = Md5.init () in
+      Md5.update ctx (String.sub s 0 k);
+      Md5.update ctx (String.sub s k (String.length s - k));
+      Md5.finalize ctx = Md5.digest s)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20010701 |]) in
+  Alcotest.run "crypto"
+    [
+      ( "md5",
+        [
+          Alcotest.test_case "RFC 1321 vectors" `Quick test_md5_vectors;
+          Alcotest.test_case "incremental = one-shot" `Quick
+            test_md5_incremental_equals_oneshot;
+          Alcotest.test_case "block boundaries" `Quick test_md5_block_boundaries;
+          Alcotest.test_case "update_sub bounds" `Quick test_md5_update_sub_bounds;
+          Alcotest.test_case "to_hex" `Quick test_to_hex;
+          q md5_incremental_prop;
+        ] );
+      ("hmac", [ Alcotest.test_case "RFC 2202 vectors" `Quick test_hmac_rfc2202 ]);
+      ( "mac",
+        [
+          Alcotest.test_case "verify and reject" `Quick test_mac_verify;
+          Alcotest.test_case "length handling" `Quick test_mac_equal_lengths;
+        ] );
+      ( "keychain",
+        [
+          Alcotest.test_case "pairwise agreement" `Quick
+            test_keychain_pairwise_agreement;
+          Alcotest.test_case "epoch refresh" `Quick test_keychain_epoch_refresh;
+          Alcotest.test_case "stale epoch ignored" `Quick
+            test_keychain_stale_epoch_ignored;
+        ] );
+      ( "auth",
+        [
+          Alcotest.test_case "vector check per receiver" `Quick test_auth_vector;
+          Alcotest.test_case "rejects tampering" `Quick test_auth_rejects_tamper;
+          Alcotest.test_case "corrupt helper invalidates" `Quick test_auth_corrupt;
+          Alcotest.test_case "wire roundtrip and size" `Quick
+            test_auth_wire_roundtrip;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "parts unambiguous" `Quick
+            test_fingerprint_parts_unambiguous;
+          Alcotest.test_case "basics" `Quick test_fingerprint_basic;
+        ] );
+    ]

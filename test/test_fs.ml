@@ -1,0 +1,324 @@
+(* Tests for the in-memory file system backing BFS: operation semantics,
+   error cases, undo inverses, snapshot/restore, and the literal/virtual
+   content model. *)
+
+module Fs = Bft_nfs.Fs
+module Payload = Bft_core.Payload
+module Fingerprint = Bft_crypto.Fingerprint
+
+let check = Alcotest.check
+
+let ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" label (Fs.error_name e)
+
+let err label expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" label (Fs.error_name expected)
+  | Error e ->
+    check Alcotest.string label (Fs.error_name expected) (Fs.error_name e)
+
+let test_root_exists () =
+  let fs = Fs.create () in
+  let attr = ok "getattr root" (Fs.getattr fs Fs.root) in
+  check Alcotest.bool "is dir" true (attr.Fs.ftype = Fs.Dir);
+  check Alcotest.int "nlink" 2 attr.Fs.nlink
+
+let test_create_lookup () =
+  let fs = Fs.create () in
+  let fh, attr, _undo = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"a" ~mode:0o644) in
+  check Alcotest.bool "regular" true (attr.Fs.ftype = Fs.Reg);
+  check Alcotest.int "empty" 0 attr.Fs.size;
+  let fh', _ = ok "lookup" (Fs.lookup fs ~dir:Fs.root ~name:"a") in
+  check Alcotest.int "same fh" fh fh';
+  err "duplicate" Fs.EEXIST (Fs.create_file fs ~dir:Fs.root ~name:"a" ~mode:0o644);
+  err "missing" Fs.ENOENT (Fs.lookup fs ~dir:Fs.root ~name:"b");
+  err "bad dir" Fs.ESTALE (Fs.lookup fs ~dir:999 ~name:"a");
+  err "not a dir" Fs.ENOTDIR (Fs.lookup fs ~dir:fh ~name:"x")
+
+let test_invalid_names () =
+  let fs = Fs.create () in
+  err "empty name" Fs.EINVAL (Fs.create_file fs ~dir:Fs.root ~name:"" ~mode:0o644);
+  err "slash" Fs.EINVAL (Fs.create_file fs ~dir:Fs.root ~name:"a/b" ~mode:0o644);
+  err "dot" Fs.EINVAL (Fs.create_file fs ~dir:Fs.root ~name:"." ~mode:0o644);
+  err "dotdot" Fs.EINVAL (Fs.mkdir fs ~dir:Fs.root ~name:".." ~mode:0o755)
+
+let test_write_read_literal () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  let _, _ = ok "write" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "hello world")) in
+  let data = ok "read" (Fs.read fs fh ~off:0 ~len:100) in
+  check Alcotest.string "contents" "hello world" data.Payload.data;
+  let mid = ok "read middle" (Fs.read fs fh ~off:6 ~len:5) in
+  check Alcotest.string "substring" "world" mid.Payload.data;
+  let attr = ok "getattr" (Fs.getattr fs fh) in
+  check Alcotest.int "size" 11 attr.Fs.size
+
+let test_write_overwrite_and_extend () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  ignore (ok "w1" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "aaaa")));
+  ignore (ok "w2" (Fs.write fs fh ~off:2 ~data:(Payload.of_string "bbbb")));
+  let data = ok "read" (Fs.read fs fh ~off:0 ~len:10) in
+  check Alcotest.string "spliced" "aabbbb" data.Payload.data
+
+let test_write_virtual () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"big" ~mode:0o644) in
+  let attr, _ = ok "write" (Fs.write fs fh ~off:0 ~data:(Payload.zeros 1_000_000)) in
+  check Alcotest.int "virtual size" 1_000_000 attr.Fs.size;
+  let data = ok "read" (Fs.read fs fh ~off:500_000 ~len:3000) in
+  check Alcotest.int "modeled read size" 3000 (Payload.size data);
+  (* reads of virtual regions commit to the content hash *)
+  let d1 = Payload.digest data in
+  ignore (ok "rewrite" (Fs.write fs fh ~off:500_000 ~data:(Payload.zeros 100)));
+  let data2 = ok "read2" (Fs.read fs fh ~off:500_000 ~len:3000) in
+  check Alcotest.bool "content hash changed" false
+    (Fingerprint.equal d1 (Payload.digest data2))
+
+let test_read_past_eof () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  ignore (ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "abc")));
+  let data = ok "short read" (Fs.read fs fh ~off:1 ~len:100) in
+  check Alcotest.string "short" "bc" data.Payload.data;
+  let empty = ok "past eof" (Fs.read fs fh ~off:10 ~len:5) in
+  check Alcotest.int "empty" 0 (Payload.size empty);
+  err "negative" Fs.EINVAL (Fs.read fs fh ~off:(-1) ~len:5)
+
+let test_setattr_truncate () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  ignore (ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "abcdef")));
+  let attr, _ = ok "truncate" (Fs.setattr fs fh ~size:3 ()) in
+  check Alcotest.int "truncated" 3 attr.Fs.size;
+  let data = ok "read" (Fs.read fs fh ~off:0 ~len:10) in
+  check Alcotest.string "cut" "abc" data.Payload.data;
+  let attr, _ = ok "chmod" (Fs.setattr fs fh ~mode:0o600 ()) in
+  check Alcotest.int "mode" 0o600 attr.Fs.mode
+
+let test_mkdir_rmdir () =
+  let fs = Fs.create () in
+  let dir, attr, _ = ok "mkdir" (Fs.mkdir fs ~dir:Fs.root ~name:"d" ~mode:0o755) in
+  check Alcotest.bool "dir" true (attr.Fs.ftype = Fs.Dir);
+  let root_attr = ok "root attr" (Fs.getattr fs Fs.root) in
+  check Alcotest.int "root nlink bumped" 3 root_attr.Fs.nlink;
+  ignore (ok "create in dir" (Fs.create_file fs ~dir ~name:"f" ~mode:0o644));
+  err "not empty" Fs.ENOTEMPTY (Fs.rmdir fs ~dir:Fs.root ~name:"d");
+  let (_ : Fs.undo) = ok "rm f" (Fs.remove fs ~dir ~name:"f") in
+  let (_ : Fs.undo) = ok "rmdir" (Fs.rmdir fs ~dir:Fs.root ~name:"d") in
+  err "gone" Fs.ENOENT (Fs.lookup fs ~dir:Fs.root ~name:"d");
+  let root_attr = ok "root attr 2" (Fs.getattr fs Fs.root) in
+  check Alcotest.int "root nlink restored" 2 root_attr.Fs.nlink
+
+let test_remove_semantics () =
+  let fs = Fs.create () in
+  let dir, _, _ = ok "mkdir" (Fs.mkdir fs ~dir:Fs.root ~name:"d" ~mode:0o755) in
+  err "remove dir with remove" Fs.EISDIR (Fs.remove fs ~dir:Fs.root ~name:"d");
+  ignore dir;
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  err "rmdir file" Fs.ENOTDIR (Fs.rmdir fs ~dir:Fs.root ~name:"f");
+  let (_ : Fs.undo) = ok "remove" (Fs.remove fs ~dir:Fs.root ~name:"f") in
+  err "stale" Fs.ESTALE (Fs.getattr fs fh)
+
+let test_link_semantics () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  ignore (ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "shared")));
+  let (_ : Fs.undo) = ok "link" (Fs.link fs ~src:fh ~dir:Fs.root ~name:"g") in
+  let attr = ok "attr" (Fs.getattr fs fh) in
+  check Alcotest.int "nlink 2" 2 attr.Fs.nlink;
+  let (_ : Fs.undo) = ok "remove original" (Fs.remove fs ~dir:Fs.root ~name:"f") in
+  (* still reachable via the hard link *)
+  let data = ok "read via link" (Fs.read fs fh ~off:0 ~len:10) in
+  check Alcotest.string "content survives" "shared" data.Payload.data;
+  let (_ : Fs.undo) = ok "remove link" (Fs.remove fs ~dir:Fs.root ~name:"g") in
+  err "now gone" Fs.ESTALE (Fs.getattr fs fh);
+  let d, _, _ = ok "mkdir" (Fs.mkdir fs ~dir:Fs.root ~name:"d" ~mode:0o755) in
+  err "no dir hard links" Fs.EISDIR (Fs.link fs ~src:d ~dir:Fs.root ~name:"dd")
+
+let test_symlink_readlink () =
+  let fs = Fs.create () in
+  let fh, _ = ok "symlink" (Fs.symlink fs ~dir:Fs.root ~name:"l" ~target:"/some/where") in
+  check Alcotest.string "target" "/some/where" (ok "readlink" (Fs.readlink fs fh));
+  err "readlink on file" Fs.EINVAL
+    (let f, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+     Fs.readlink fs f)
+
+let test_rename_basic () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"a" ~mode:0o644) in
+  let (_ : Fs.undo) = ok "rename" (Fs.rename fs ~from_dir:Fs.root ~from_name:"a" ~to_dir:Fs.root ~to_name:"b") in
+  err "old gone" Fs.ENOENT (Fs.lookup fs ~dir:Fs.root ~name:"a");
+  let fh', _ = ok "new" (Fs.lookup fs ~dir:Fs.root ~name:"b") in
+  check Alcotest.int "same inode" fh fh'
+
+let test_rename_across_dirs_replaces () =
+  let fs = Fs.create () in
+  let d1, _, _ = ok "d1" (Fs.mkdir fs ~dir:Fs.root ~name:"d1" ~mode:0o755) in
+  let d2, _, _ = ok "d2" (Fs.mkdir fs ~dir:Fs.root ~name:"d2" ~mode:0o755) in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:d1 ~name:"f" ~mode:0o644) in
+  let victim, _, _ = ok "victim" (Fs.create_file fs ~dir:d2 ~name:"g" ~mode:0o644) in
+  let (_ : Fs.undo) = ok "rename" (Fs.rename fs ~from_dir:d1 ~from_name:"f" ~to_dir:d2 ~to_name:"g") in
+  let fh', _ = ok "lookup" (Fs.lookup fs ~dir:d2 ~name:"g") in
+  check Alcotest.int "moved inode" fh fh';
+  err "victim unlinked" Fs.ESTALE (Fs.getattr fs victim)
+
+let test_readdir_sorted () =
+  let fs = Fs.create () in
+  List.iter
+    (fun name -> ignore (ok name (Fs.create_file fs ~dir:Fs.root ~name ~mode:0o644)))
+    [ "zebra"; "apple"; "mango" ];
+  check (Alcotest.list Alcotest.string) "sorted" [ "apple"; "mango"; "zebra" ]
+    (ok "readdir" (Fs.readdir fs Fs.root));
+  check Alcotest.int "dir_size" 3 (Fs.dir_size fs Fs.root)
+
+let test_statfs_total () =
+  let fs = Fs.create () in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  ignore (ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.zeros 5000)));
+  let total, files = Fs.statfs fs in
+  check Alcotest.int "bytes" 5000 total;
+  check Alcotest.int "inodes" 2 files;
+  check Alcotest.int "total_bytes" 5000 (Fs.total_bytes fs);
+  let (_ : Fs.undo) = ok "rm" (Fs.remove fs ~dir:Fs.root ~name:"f") in
+  check Alcotest.int "freed" 0 (Fs.total_bytes fs)
+
+let test_digest_changes_on_mutation () =
+  let fs = Fs.create () in
+  let d0 = Fs.state_digest fs in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  let d1 = Fs.state_digest fs in
+  check Alcotest.bool "create changes" false (Fingerprint.equal d0 d1);
+  ignore (ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "x")));
+  let d2 = Fs.state_digest fs in
+  check Alcotest.bool "write changes" false (Fingerprint.equal d1 d2)
+
+let test_undo_restores_digest () =
+  let fs = Fs.create () in
+  let fh, _, create_undo = ok "create" (Fs.create_file fs ~dir:Fs.root ~name:"f" ~mode:0o644) in
+  let d_after_create = Fs.state_digest fs in
+  let _, write_undo = ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "data")) in
+  write_undo ();
+  check Alcotest.bool "write undone" true
+    (Fingerprint.equal d_after_create (Fs.state_digest fs));
+  check Alcotest.int "content gone" 0
+    (Payload.size (ok "read" (Fs.read fs fh ~off:0 ~len:10)));
+  let d_empty = Fs.state_digest (Fs.create ()) in
+  create_undo ();
+  check Alcotest.bool "create undone" true
+    (Fingerprint.equal d_empty (Fs.state_digest fs))
+
+let test_snapshot_restore_roundtrip () =
+  let fs = Fs.create () in
+  let dir, _, _ = ok "mkdir" (Fs.mkdir fs ~dir:Fs.root ~name:"d" ~mode:0o755) in
+  let fh, _, _ = ok "create" (Fs.create_file fs ~dir ~name:"f" ~mode:0o644) in
+  ignore (ok "w" (Fs.write fs fh ~off:0 ~data:(Payload.of_string "persist me")));
+  ignore (ok "sym" (Fs.symlink fs ~dir ~name:"l" ~target:"f"));
+  ignore (ok "big" (Fs.write fs fh ~off:100_000 ~data:(Payload.zeros 50_000)));
+  let snap = Fs.snapshot fs in
+  let digest = Fs.state_digest fs in
+  let fs2 = Fs.create () in
+  Fs.restore fs2 snap;
+  check Alcotest.bool "digest preserved" true
+    (Fingerprint.equal digest (Fs.state_digest fs2));
+  let data = ok "read restored" (Fs.read fs2 fh ~off:0 ~len:10) in
+  check Alcotest.string "contents preserved" "persist me" data.Payload.data;
+  check (Alcotest.list Alcotest.string) "entries preserved" [ "f"; "l" ]
+    (ok "readdir" (Fs.readdir fs2 dir));
+  (* and mutations after restore still work *)
+  ignore (ok "post write" (Fs.write fs2 fh ~off:0 ~data:(Payload.of_string "X")))
+
+(* Property: a random mutation sequence applied and then undone in reverse
+   restores the exact state digest. This is what guarantees tentative
+   execution rollback is sound for BFS. *)
+let random_op_prop =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 25) (pair (int_bound 5) (int_bound 3)))
+  in
+  QCheck.Test.make ~name:"random mutations undo to the same digest" ~count:100
+    (QCheck.make gen) (fun ops ->
+      let fs = Fs.create () in
+      (* seed a couple of files *)
+      let seeded =
+        [
+          (match Fs.create_file fs ~dir:Fs.root ~name:"s0" ~mode:0o644 with
+          | Ok (fh, _, _) -> fh
+          | Error _ -> assert false);
+          (match Fs.create_file fs ~dir:Fs.root ~name:"s1" ~mode:0o644 with
+          | Ok (fh, _, _) -> fh
+          | Error _ -> assert false);
+        ]
+      in
+      let base_digest = Fs.state_digest fs in
+      let undos = ref [] in
+      let counter = ref 0 in
+      List.iter
+        (fun (kind, which) ->
+          incr counter;
+          let name = Printf.sprintf "n%d" !counter in
+          let target = List.nth seeded (which mod 2) in
+          let record = function
+            | Ok undo -> undos := undo :: !undos
+            | Error _ -> ()
+          in
+          match kind with
+          | 0 ->
+            record
+              (Result.map (fun (_, _, u) -> u)
+                 (Fs.create_file fs ~dir:Fs.root ~name ~mode:0o644))
+          | 1 ->
+            record
+              (Result.map (fun (_, u) -> u)
+                 (Fs.write fs target ~off:(which * 7)
+                    ~data:(Payload.of_string name)))
+          | 2 ->
+            record
+              (Result.map (fun (_, u) -> u) (Fs.setattr fs target ~size:which ()))
+          | 3 ->
+            record
+              (Result.map (fun (_, _, u) -> u)
+                 (Fs.mkdir fs ~dir:Fs.root ~name ~mode:0o755))
+          | 4 -> record (Fs.link fs ~src:target ~dir:Fs.root ~name)
+          | _ ->
+            record
+              (Result.map (fun (_, u) -> u)
+                 (Fs.write fs target ~off:0 ~data:(Payload.zeros (1000 * (which + 1))))))
+        ops;
+      List.iter (fun undo -> undo ()) !undos;
+      Fingerprint.equal base_digest (Fs.state_digest fs))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20010701 |]) in
+  Alcotest.run "fs"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "root exists" `Quick test_root_exists;
+          Alcotest.test_case "create and lookup" `Quick test_create_lookup;
+          Alcotest.test_case "invalid names" `Quick test_invalid_names;
+          Alcotest.test_case "write/read literal" `Quick test_write_read_literal;
+          Alcotest.test_case "overwrite and extend" `Quick
+            test_write_overwrite_and_extend;
+          Alcotest.test_case "virtual bulk content" `Quick test_write_virtual;
+          Alcotest.test_case "read past eof" `Quick test_read_past_eof;
+          Alcotest.test_case "setattr truncate" `Quick test_setattr_truncate;
+          Alcotest.test_case "mkdir/rmdir" `Quick test_mkdir_rmdir;
+          Alcotest.test_case "remove semantics" `Quick test_remove_semantics;
+          Alcotest.test_case "hard links" `Quick test_link_semantics;
+          Alcotest.test_case "symlinks" `Quick test_symlink_readlink;
+          Alcotest.test_case "rename basic" `Quick test_rename_basic;
+          Alcotest.test_case "rename replaces" `Quick
+            test_rename_across_dirs_replaces;
+          Alcotest.test_case "readdir sorted" `Quick test_readdir_sorted;
+          Alcotest.test_case "statfs totals" `Quick test_statfs_total;
+        ] );
+      ( "state machine",
+        [
+          Alcotest.test_case "digest tracks mutations" `Quick
+            test_digest_changes_on_mutation;
+          Alcotest.test_case "undo restores digest" `Quick test_undo_restores_digest;
+          Alcotest.test_case "snapshot/restore roundtrip" `Quick
+            test_snapshot_restore_roundtrip;
+          q random_op_prop;
+        ] );
+    ]

@@ -1,0 +1,70 @@
+(* Liveness regression scenarios.
+
+   Each case is a (seed, faults, network) combination that at some point
+   during development exposed a distinct liveness defect. They are pinned
+   here deterministically so none of those defects can return:
+
+   - premature client retransmission when digest replies beat the full one;
+   - the view-change timer firing under load merely because requests were
+     pending (instead of restarting on execution progress);
+   - checkpoint-digest divergence from unexecuted client-table entries;
+   - the view-change ladder from stale VIEW-CHANGE records;
+   - the backoff reset on NEW-VIEW installs sustaining view-change storms;
+   - prepared certificates lost when NEW-VIEW carried finalized slots,
+     letting a later primary reuse executed sequence numbers;
+   - a digest-only reply blocking the later full reply from the same
+     replica;
+   - a solo view-changer laddering without 2f+1 backing, then wedging the
+     only live quorum;
+   - a tentatively-executed request answered from the cache not feeding
+     the liveness timer, hiding a stalled commit;
+   - certificates never re-formed for a replica that missed them while the
+     rest of the cluster was already finalized (status retransmission). *)
+
+open Bft_core
+
+let check = Alcotest.check
+
+let run ~seed ~drop ~dup ~nclients ~ops ~behaviors () =
+  let config = Config.make ~f:1 ~checkpoint_interval:8 ~log_window:16 () in
+  let rig = Harness.make ~config ~seed ~behaviors ~nclients () in
+  Bft_net.Network.set_faults
+    (Cluster.network rig.Harness.cluster)
+    { Bft_net.Network.drop_probability = drop; duplicate_probability = dup; blocked = [] };
+  let completed = Harness.run_ops ~per_client:ops ~until:60.0 rig in
+  check Alcotest.int "all operations complete" (nclients * ops) completed;
+  Harness.check_agreement rig
+
+let cases =
+  [
+    (* mute primary + loss: cached-reply upgrade path *)
+    ("mute primary, 2% loss (seed 1)", 1, 0.02, 0.01, [ (0, Behavior.Mute) ]);
+    ("mute primary, 2% loss (seed 6)", 6, 0.02, 0.01, [ (0, Behavior.Mute) ]);
+    (* crashed backup leaves exactly 2f+1 live: every message matters *)
+    ("crashed backup, 3% loss (seed 2)", 2, 0.03, 0.02, [ (3, Behavior.Crash_at 0.01) ]);
+    ("crashed backup, 3% loss (seed 4)", 4, 0.03, 0.02, [ (1, Behavior.Crash_at 0.01) ]);
+    ("crashed backup, 5% loss (seed 5)", 5, 0.05, 0.03, [ (1, Behavior.Crash_at 0.01) ]);
+    ("crashed backup, 8% loss (seed 8)", 8, 0.08, 0.04, [ (3, Behavior.Crash_at 0.01) ]);
+    (* crashed primary: re-proposal across views *)
+    ("crashed primary, 5% loss (seed 1)", 1, 0.05, 0.03, [ (0, Behavior.Crash_at 0.01) ]);
+    (* forger: its view changes are rejected everywhere *)
+    ("forger, 3% loss (seed 9)", 9, 0.03, 0.01, [ (2, Behavior.Forge_auth) ]);
+    ("forger, 8% loss (seed 8)", 8, 0.08, 0.04, [ (3, Behavior.Forge_auth) ]);
+    (* equivocator under loss *)
+    ("two-faced, 5% loss (seed 1)", 1, 0.05, 0.03, [ (0, Behavior.Two_faced) ]);
+    (* corrupt replies under loss *)
+    ("corrupt replies, 8% loss (seed 10)", 10, 0.08, 0.04, [ (1, Behavior.Corrupt_replies) ]);
+    (* plain heavy loss, no Byzantine behaviour *)
+    ("no faults, 10% loss (seed 42)", 42, 0.10, 0.05, []);
+  ]
+
+let () =
+  Alcotest.run "liveness-regressions"
+    [
+      ( "scenarios",
+        List.map
+          (fun (name, seed, drop, dup, behaviors) ->
+            Alcotest.test_case name `Slow
+              (run ~seed ~drop ~dup ~nclients:3 ~ops:8 ~behaviors))
+          cases );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the simulated switched Ethernet. *)
+
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Calibration = Bft_sim.Calibration
+module Network = Bft_net.Network
+module Rng = Bft_util.Rng
+
+let check = Alcotest.check
+
+type rig = {
+  engine : Engine.t;
+  net : Network.t;
+  nodes : Network.node_id array;
+  received : (Network.node_id * Network.node_id * string) list ref;  (* dst,src,wire *)
+}
+
+let make_rig ?(count = 3) ?recv_buffer () =
+  let engine = Engine.create () in
+  let net = Network.create engine Calibration.default ~rng:(Rng.of_int 1) in
+  let received = ref [] in
+  let nodes =
+    Array.init count (fun i ->
+        let cpu = Cpu.create engine ~name:(Printf.sprintf "n%d" i) () in
+        Network.add_node net ~cpu ?recv_buffer ~name:(Printf.sprintf "n%d" i) ())
+  in
+  Array.iter
+    (fun node ->
+      Network.set_handler net node (fun ~src ~wire ~size ->
+          ignore size;
+          received := (node, src, wire) :: !received))
+    nodes;
+  { engine; net; nodes; received }
+
+let test_basic_delivery () =
+  let r = make_rig () in
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "hello";
+  Engine.run r.engine;
+  check Alcotest.int "one delivery" 1 (List.length !(r.received));
+  let dst, src, wire = List.hd !(r.received) in
+  check Alcotest.int "dst" r.nodes.(1) dst;
+  check Alcotest.int "src" r.nodes.(0) src;
+  check Alcotest.string "payload" "hello" wire
+
+let test_latency_model () =
+  let r = make_rig () in
+  let cal = Calibration.default in
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) ~size:1000 "x";
+  Engine.run r.engine;
+  (* send cpu cost + egress serialization + switch + ingress serialization,
+     then the receive handler runs after its own CPU work. *)
+  let expected_min =
+    (2.0 *. Calibration.transmission_time cal 1000) +. cal.Calibration.switch_latency
+  in
+  check Alcotest.bool "not before the wire allows" true (Engine.now r.engine >= expected_min)
+
+let test_multicast_single_egress () =
+  let r = make_rig () in
+  (* Multicast to two receivers must serialize once on the sender's egress:
+     total time is less than two sequential unicasts of the same size. *)
+  let big = 100_000 in
+  Network.multicast r.net ~src:r.nodes.(0) ~dsts:[ r.nodes.(1); r.nodes.(2) ]
+    ~size:big "m";
+  Engine.run r.engine;
+  let t_multicast = Engine.now r.engine in
+  let r2 = make_rig () in
+  Network.send r2.net ~src:r2.nodes.(0) ~dst:r2.nodes.(1) ~size:big "m";
+  Network.send r2.net ~src:r2.nodes.(0) ~dst:r2.nodes.(2) ~size:big "m";
+  Engine.run r2.engine;
+  let t_unicast = Engine.now r2.engine in
+  check Alcotest.int "both delivered" 2 (List.length !(r.received));
+  check Alcotest.bool "single egress is faster" true
+    (t_multicast < t_unicast *. 0.75)
+
+let test_loopback () =
+  let r = make_rig () in
+  Network.multicast r.net ~src:r.nodes.(0) ~dsts:[ r.nodes.(0); r.nodes.(1) ] "m";
+  Engine.run r.engine;
+  check Alcotest.int "self + peer" 2 (List.length !(r.received))
+
+let test_down_node_drops () =
+  let r = make_rig () in
+  Network.set_up r.net r.nodes.(1) false;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Network.send r.net ~src:r.nodes.(1) ~dst:r.nodes.(0) "y";
+  Engine.run r.engine;
+  check Alcotest.int "nothing" 0 (List.length !(r.received));
+  check Alcotest.bool "counted" true (Network.dropped_datagrams r.net >= 1);
+  Network.set_up r.net r.nodes.(1) true;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Engine.run r.engine;
+  check Alcotest.int "recovered" 1 (List.length !(r.received))
+
+let test_drop_probability () =
+  let r = make_rig () in
+  Network.set_faults r.net
+    { Network.drop_probability = 1.0; duplicate_probability = 0.0; blocked = [] };
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Engine.run r.engine;
+  check Alcotest.int "all dropped" 0 (List.length !(r.received));
+  check Alcotest.int "dropped counter" 1 (Network.dropped_datagrams r.net)
+
+let test_duplication () =
+  let r = make_rig () in
+  Network.set_faults r.net
+    { Network.drop_probability = 0.0; duplicate_probability = 1.0; blocked = [] };
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Engine.run r.engine;
+  check Alcotest.int "two copies" 2 (List.length !(r.received))
+
+let test_partition () =
+  let r = make_rig () in
+  Network.set_faults r.net
+    {
+      Network.drop_probability = 0.0;
+      duplicate_probability = 0.0;
+      blocked = [ (r.nodes.(0), r.nodes.(1)) ];
+    };
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  (* the reverse direction still works *)
+  Network.send r.net ~src:r.nodes.(1) ~dst:r.nodes.(0) "y";
+  Engine.run r.engine;
+  check Alcotest.int "one direction blocked" 1 (List.length !(r.received))
+
+let test_buffer_overflow_drops () =
+  (* A tiny receive buffer and a burst of large datagrams: the tail of the
+     burst must be dropped, the head delivered. *)
+  let r = make_rig ~recv_buffer:0.001 () in
+  (* Two senders converge on one ingress link: with a single sender the
+     sender's own egress would pace the flow and nothing would overflow. *)
+  for _ = 1 to 25 do
+    Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) ~size:4096 "x";
+    Network.send r.net ~src:r.nodes.(2) ~dst:r.nodes.(1) ~size:4096 "x"
+  done;
+  Engine.run r.engine;
+  let delivered = List.length !(r.received) in
+  check Alcotest.bool "some delivered" true (delivered > 0);
+  check Alcotest.bool "some dropped" true (Network.dropped_datagrams r.net > 0);
+  check Alcotest.int "conservation" 50
+    (delivered + Network.dropped_datagrams r.net)
+
+let test_counters () =
+  let r = make_rig () in
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) ~size:100 "x";
+  Engine.run r.engine;
+  check Alcotest.int "sent" 1 (Network.sent_datagrams r.net);
+  check Alcotest.int "delivered" 1 (Network.delivered_datagrams r.net);
+  check Alcotest.bool "bytes incl overhead" true (Network.bytes_on_wire r.net > 100);
+  Network.reset_counters r.net;
+  check Alcotest.int "reset" 0 (Network.sent_datagrams r.net)
+
+let test_bandwidth_bound () =
+  (* 12.5 MB/s: pushing 1 MB point-to-point must take >= 80 ms. *)
+  let r = make_rig () in
+  for _ = 1 to 256 do
+    Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) ~size:4096 "x"
+  done;
+  Engine.run r.engine;
+  check Alcotest.bool "bandwidth respected" true (Engine.now r.engine >= 0.080);
+  check Alcotest.int "all delivered" 256 (List.length !(r.received))
+
+let test_uid_distinct () =
+  let e = Engine.create () in
+  let a = Network.create e Calibration.default ~rng:(Rng.of_int 1) in
+  let b = Network.create e Calibration.default ~rng:(Rng.of_int 1) in
+  check Alcotest.bool "distinct uids" true (Network.uid a <> Network.uid b)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+          Alcotest.test_case "latency model" `Quick test_latency_model;
+          Alcotest.test_case "multicast single egress" `Quick
+            test_multicast_single_egress;
+          Alcotest.test_case "loopback" `Quick test_loopback;
+          Alcotest.test_case "down node" `Quick test_down_node_drops;
+          Alcotest.test_case "drop probability" `Quick test_drop_probability;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "buffer overflow" `Quick test_buffer_overflow_drops;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "bandwidth bound" `Quick test_bandwidth_bound;
+          Alcotest.test_case "uid distinct" `Quick test_uid_distinct;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Tests for the example services: KV store and counter. *)
+
+module Kv = Bft_services.Kv_store
+module Counter = Bft_services.Counter
+module Payload = Bft_core.Payload
+module Service = Bft_core.Service
+module Fingerprint = Bft_crypto.Fingerprint
+
+let check = Alcotest.check
+
+let exec svc op =
+  let result, undo = svc.Service.execute ~client:1 ~op:(Kv.op_payload op) in
+  (Kv.result_of_payload result, undo)
+
+let test_kv_semantics () =
+  let svc = Kv.service () in
+  (match exec svc (Kv.Get "missing") with
+  | Kv.Value None, _ -> ()
+  | _ -> Alcotest.fail "missing get");
+  (match exec svc (Kv.Put ("k", "v1")) with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "put");
+  (match exec svc (Kv.Get "k") with
+  | Kv.Value (Some "v1"), _ -> ()
+  | _ -> Alcotest.fail "get");
+  (match exec svc (Kv.Cas { key = "k"; expected = Some "v1"; update = "v2" }) with
+  | Kv.Cas_result true, _ -> ()
+  | _ -> Alcotest.fail "cas hit");
+  (match exec svc (Kv.Cas { key = "k"; expected = Some "v1"; update = "v3" }) with
+  | Kv.Cas_result false, _ -> ()
+  | _ -> Alcotest.fail "cas miss");
+  (match exec svc (Kv.Get "k") with
+  | Kv.Value (Some "v2"), _ -> ()
+  | _ -> Alcotest.fail "cas effect");
+  (match exec svc (Kv.Delete "k") with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "delete");
+  match exec svc (Kv.Get "k") with
+  | Kv.Value None, _ -> ()
+  | _ -> Alcotest.fail "deleted"
+
+let test_kv_cas_on_absent () =
+  let svc = Kv.service () in
+  (match exec svc (Kv.Cas { key = "new"; expected = None; update = "v" }) with
+  | Kv.Cas_result true, _ -> ()
+  | _ -> Alcotest.fail "cas-create");
+  match exec svc (Kv.Get "new") with
+  | Kv.Value (Some "v"), _ -> ()
+  | _ -> Alcotest.fail "created"
+
+let test_kv_undo () =
+  let svc = Kv.service () in
+  ignore (exec svc (Kv.Put ("a", "1")));
+  let d = svc.Service.state_digest () in
+  let _, undo_put = exec svc (Kv.Put ("a", "2")) in
+  let _, undo_del = exec svc (Kv.Delete "a") in
+  undo_del ();
+  undo_put ();
+  check Alcotest.bool "digest restored" true
+    (Fingerprint.equal d (svc.Service.state_digest ()));
+  match exec svc (Kv.Get "a") with
+  | Kv.Value (Some "1"), _ -> ()
+  | _ -> Alcotest.fail "value restored"
+
+let test_kv_snapshot_restore () =
+  let svc = Kv.service () in
+  ignore (exec svc (Kv.Put ("x", "1")));
+  ignore (exec svc (Kv.Put ("y", "2")));
+  let snap = svc.Service.snapshot () in
+  let svc2 = Kv.service () in
+  svc2.Service.restore snap;
+  check Alcotest.bool "digest equal" true
+    (Fingerprint.equal (svc.Service.state_digest ()) (svc2.Service.state_digest ()));
+  check Alcotest.int "size" 2 (Kv.size svc2)
+
+let test_kv_read_only () =
+  check Alcotest.bool "get" true (Kv.is_read_only_op (Kv.Get "k"));
+  check Alcotest.bool "put" false (Kv.is_read_only_op (Kv.Put ("k", "v")));
+  check Alcotest.bool "cas" false
+    (Kv.is_read_only_op (Kv.Cas { key = "k"; expected = None; update = "v" }));
+  let svc = Kv.service () in
+  check Alcotest.bool "service agrees" true
+    (svc.Service.is_read_only (Kv.op_payload (Kv.Get "k")));
+  check Alcotest.bool "garbage rw" false (svc.Service.is_read_only (Payload.of_string "\xff"))
+
+let test_kv_undecodable_op () =
+  let svc = Kv.service () in
+  let result, _ = svc.Service.execute ~client:1 ~op:(Payload.of_string "\xff\xff") in
+  match Kv.result_of_payload result with
+  | Kv.Error _ -> ()
+  | _ -> Alcotest.fail "expected error"
+
+let test_kv_dirty_tracking () =
+  let svc = Kv.service () in
+  check Alcotest.int "clean" 0 (svc.Service.modified_since_checkpoint ());
+  ignore (exec svc (Kv.Put ("key", "value")));
+  check Alcotest.bool "dirty" true (svc.Service.modified_since_checkpoint () > 0);
+  svc.Service.checkpoint_taken ();
+  check Alcotest.int "reset" 0 (svc.Service.modified_since_checkpoint ())
+
+let kv_roundtrip_prop =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun k -> Kv.Get k) (string_size (int_bound 20));
+          map2 (fun k v -> Kv.Put (k, v)) (string_size (int_bound 20))
+            (string_size (int_bound 50));
+          map (fun k -> Kv.Delete k) (string_size (int_bound 20));
+          map3
+            (fun key e u -> Kv.Cas { key; expected = e; update = u })
+            (string_size (int_bound 20))
+            (option (string_size (int_bound 20)))
+            (string_size (int_bound 20));
+        ])
+  in
+  QCheck.Test.make ~name:"kv op payloads roundtrip" ~count:200 (QCheck.make op_gen)
+    (fun op ->
+      let p = Kv.op_payload op in
+      (* decoding through the service must not fail *)
+      let svc = Kv.service () in
+      match Kv.result_of_payload (fst (svc.Bft_core.Service.execute ~client:0 ~op:p)) with
+      | Kv.Error _ -> false
+      | _ -> true)
+
+let test_counter_semantics () =
+  let svc = Counter.service () in
+  let run op =
+    let r, _ = svc.Service.execute ~client:1 ~op:(Counter.op_payload op) in
+    Counter.value_of_payload r
+  in
+  check (Alcotest.option Alcotest.int) "read 0" (Some 0) (run (Counter.Read "c"));
+  check (Alcotest.option Alcotest.int) "add" (Some 5) (run (Counter.Add ("c", 5)));
+  check (Alcotest.option Alcotest.int) "add more" (Some 3) (run (Counter.Add ("c", -2)));
+  check (Alcotest.option Alcotest.int) "read" (Some 3) (run (Counter.Read "c"))
+
+let test_counter_undo_and_snapshot () =
+  let svc = Counter.service () in
+  let exec op = svc.Service.execute ~client:1 ~op:(Counter.op_payload op) in
+  ignore (exec (Counter.Add ("c", 10)));
+  let d = svc.Service.state_digest () in
+  let _, undo = exec (Counter.Add ("c", 5)) in
+  undo ();
+  check Alcotest.bool "undo" true (Fingerprint.equal d (svc.Service.state_digest ()));
+  let snap = svc.Service.snapshot () in
+  let svc2 = Counter.service () in
+  svc2.Service.restore snap;
+  check Alcotest.bool "restore" true
+    (Fingerprint.equal d (svc2.Service.state_digest ()))
+
+let test_null_service_result_sizes () =
+  let svc = Service.null () in
+  let result, _ =
+    svc.Service.execute ~client:1
+      ~op:(Service.null_op ~read_only:false ~arg_size:100 ~result_size:4096)
+  in
+  check Alcotest.int "result size" 4096 (Payload.size result);
+  check Alcotest.bool "ro detection" true
+    (svc.Service.is_read_only (Service.null_op ~read_only:true ~arg_size:0 ~result_size:0));
+  check Alcotest.bool "rw detection" false
+    (svc.Service.is_read_only (Service.null_op ~read_only:false ~arg_size:0 ~result_size:0))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20010701 |]) in
+  Alcotest.run "services"
+    [
+      ( "kv",
+        [
+          Alcotest.test_case "semantics" `Quick test_kv_semantics;
+          Alcotest.test_case "cas on absent" `Quick test_kv_cas_on_absent;
+          Alcotest.test_case "undo" `Quick test_kv_undo;
+          Alcotest.test_case "snapshot/restore" `Quick test_kv_snapshot_restore;
+          Alcotest.test_case "read-only classification" `Quick test_kv_read_only;
+          Alcotest.test_case "undecodable op" `Quick test_kv_undecodable_op;
+          Alcotest.test_case "dirty tracking" `Quick test_kv_dirty_tracking;
+          q kv_roundtrip_prop;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "undo and snapshot" `Quick
+            test_counter_undo_and_snapshot;
+        ] );
+      ( "null",
+        [ Alcotest.test_case "result sizes" `Quick test_null_service_result_sizes ] );
+    ]
