@@ -163,5 +163,31 @@ let () =
   end;
   banner "Ablations beyond the paper";
   run "ablations" Ablations.all;
+  banner "Section 4.2: per-phase latency breakdown (traced 0/0 run)";
+  let breakdown () =
+    let module Microbench = Bft_workloads.Microbench in
+    let trace = Bft_trace.Trace.create ~capacity:(1 lsl 20) () in
+    let r =
+      Microbench.bft_latency ~trace ~arg:0 ~res:0 ~read_only:false ()
+    in
+    let tl =
+      Bft_trace.Timeline.of_trace ~skip:Microbench.latency_warmup trace
+    in
+    let sum = Bft_util.Stats.mean tl.Bft_trace.Timeline.end_to_end in
+    [
+      {
+        (Report.breakdown_section tl) with
+        Report.anchors =
+          [
+            Report.ratio_anchor
+              ~description:"phase breakdown telescopes to end-to-end latency"
+              ~paper_ratio:1.0
+              ~measured:(sum /. r.Microbench.mean)
+              ~tolerance:0.01;
+          ];
+      };
+    ]
+  in
+  sections := !sections @ timed "trace" (fun () -> breakdown ());
   summarize !sections;
   bechamel_benches ()

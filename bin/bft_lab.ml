@@ -53,11 +53,71 @@ let throughput_cmd =
     let t = Microbench.bft_throughput ~arg ~res ~read_only ~clients () in
     Printf.printf "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
       arg res clients t.Microbench.ops_per_sec t.Microbench.completed
-      t.Microbench.retransmissions
+      t.Microbench.retransmissions;
+    List.iter
+      (fun (host, dropped, overflowed) ->
+        Printf.printf "  %s: %d datagrams dropped (%d receive-buffer overflows)\n"
+          host dropped overflowed)
+      t.Microbench.drops_by_node
   in
   Cmd.v
     (Cmd.info "throughput" ~doc)
     Term.(const run $ arg_size $ res_size $ clients $ read_only)
+
+let trace_cmd =
+  let doc =
+    "Trace one BFT latency run: dump the protocol trace as JSONL and print \
+     the per-phase latency breakdown. Deterministic: the same seed and \
+     operation shape produce a byte-identical trace file."
+  in
+  let arg_size =
+    Arg.(value & opt int 0 & info [ "arg" ] ~doc:"Argument size in bytes.")
+  in
+  let res_size =
+    Arg.(value & opt int 0 & info [ "res" ] ~doc:"Result size in bytes.")
+  in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Measured operations.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only op.") in
+  let sim_events =
+    Arg.(
+      value & flag
+      & info [ "sim-events" ] ~doc:"Also record per-event simulator firings.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "bft_trace.jsonl"
+      & info [ "out" ] ~doc:"JSONL output path." ~docv:"FILE")
+  in
+  let run arg res ops seed read_only sim_events out =
+    let module Trace = Bft_trace.Trace in
+    let module Timeline = Bft_trace.Timeline in
+    let trace = Trace.create ~capacity:(1 lsl 20) ~sim_events () in
+    let r = Microbench.bft_latency ~arg ~res ~ops ~seed ~trace ~read_only () in
+    let oc =
+      try open_out out
+      with Sys_error msg ->
+        Printf.eprintf "bft_lab: cannot write trace: %s\n" msg;
+        exit 1
+    in
+    output_string oc (Trace.jsonl trace);
+    close_out oc;
+    Printf.printf "wrote %d events to %s (%d recorded, %d evicted)\n"
+      (Trace.length trace) out (Trace.total trace) (Trace.dropped trace);
+    let tl = Timeline.of_trace ~skip:Microbench.latency_warmup trace in
+    Report.print (Report.breakdown_section tl);
+    let phase_sum = Bft_util.Stats.mean tl.Timeline.end_to_end in
+    Printf.printf
+      "\nmicrobench mean %8.1f us (+/- %.1f, %d ops); phase sum %8.1f us\n"
+      (r.Microbench.mean *. 1e6)
+      (r.Microbench.stddev *. 1e6)
+      r.Microbench.ops (phase_sum *. 1e6)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ arg_size $ res_size $ ops $ seed $ read_only $ sim_events $ out)
 
 let andrew_cmd =
   let doc = "Run the modified Andrew benchmark on one backend." in
@@ -188,6 +248,7 @@ let cmds =
     figure_cmd "ablations" "Beyond-the-paper ablations." Ablations.all;
     latency_cmd;
     throughput_cmd;
+    trace_cmd;
     andrew_cmd;
     chaos_cmd;
     all_cmd;

@@ -1,8 +1,10 @@
 open Types
 module Timer = Bft_sim.Timer
 module Engine = Bft_sim.Engine
+module Network = Bft_net.Network
 module Fingerprint = Bft_crypto.Fingerprint
 module Rng = Bft_util.Rng
+module Trace = Bft_trace.Trace
 
 type outcome = {
   result : Payload.t;
@@ -45,6 +47,18 @@ type t = {
 let id t = Transport.principal t.transport
 
 let metrics t = t.metrics
+
+(* Client events are stamped with the engine clock — the same clock the
+   latency samples use — so a folded timeline sums exactly to the
+   reported end-to-end latency. *)
+let emit_trace t ~req_id ?detail kind =
+  let trc = Network.trace (Transport.network t.transport) in
+  if Trace.enabled trc then
+    Trace.emit trc
+      ~vtime:(Engine.now (Transport.engine t.transport))
+      ~node:(id t) ~req_id ?detail kind
+
+let trace_req t (p : pending) = Trace.req_id ~client:(id t) ~ts:p.ts
 
 let busy t = Option.is_some t.pending
 
@@ -97,6 +111,7 @@ and retransmit t p =
   Timer.cancel p.timer;
   p.retries <- p.retries + 1;
   Metrics.incr t.metrics "ops.retransmitted";
+  emit_trace t ~req_id:(trace_req t p) Trace.Client_retransmit;
   p.full_replies <- true;
   if p.as_read_only then begin
     (* Fall back to the regular read-write protocol (Section 3.1). *)
@@ -147,6 +162,9 @@ let check_acceptance t p =
     Metrics.incr t.metrics "ops.completed";
     let latency = Engine.now (Transport.engine t.transport) -. p.started in
     Metrics.sample t.metrics "latency" latency;
+    emit_trace t ~req_id:(trace_req t p)
+      ~detail:(string_of_int p.retries)
+      Trace.Client_deliver;
     p.callback { result; latency; retries = p.retries; view }
 
 let handle_reply t p (r : Message.reply) =
@@ -235,5 +253,8 @@ let invoke t ?(read_only = false) op callback =
   in
   t.pending <- Some p;
   Metrics.incr t.metrics "ops.started";
+  emit_trace t ~req_id:(trace_req t p)
+    ~detail:(if read_only then "read-only" else "read-write")
+    Trace.Client_send;
   transmit t p;
   arm_timer t p

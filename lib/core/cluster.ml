@@ -49,15 +49,19 @@ let correct_replicas t =
   Array.to_list t.replicas
   |> List.filter (fun r -> Behavior.is_correct (Replica.behavior r))
 
+let trace t = Network.trace t.network
+
 let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
     ?(client_machine_speed = 1.0) ?(behaviors = []) ?(recv_buffer = 0.02)
-    ~config ~service () =
+    ?(trace = Bft_trace.Trace.nil) ~config ~service () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
   let root_rng = Rng.of_int seed in
   let engine = Engine.create () in
+  Engine.set_trace engine trace;
   let network = Network.create engine cal ~rng:(Rng.split root_rng "network") in
+  Network.set_trace network trace;
   let n = config.Config.n in
   let master = Printf.sprintf "cluster-master-secret-%d" seed in
   (* Replica machines. *)

@@ -17,6 +17,7 @@ val create :
   ?client_machine_speed:float ->
   ?behaviors:(Types.replica_id * Behavior.t) list ->
   ?recv_buffer:float ->
+  ?trace:Bft_trace.Trace.t ->
   config:Config.t ->
   service:(Types.replica_id -> Service.t) ->
   unit ->
@@ -49,3 +50,8 @@ val correct_replicas : t -> Replica.t list
 
 val rng : t -> string -> Bft_util.Rng.t
 (** Derive a labelled RNG from the cluster seed (for workloads). *)
+
+val trace : t -> Bft_trace.Trace.t
+(** The trace sink shared by the engine, network, replicas and clients
+    of this deployment ({!Bft_trace.Trace.nil} unless one was passed to
+    {!create}). *)

@@ -26,11 +26,34 @@ let sample t name v =
   in
   Stats.add s v
 
+let observe_duration t name ~start ~stop = sample t name (stop -. start)
+
 let samples t name = Hashtbl.find_opt t.stats name
+
+let by_name (a, _) (b, _) = String.compare a b
 
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
-  |> List.sort compare
+  |> List.sort by_name
+
+let stats_pairs t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.stats []
+  |> List.sort by_name
+
+let dump t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) -> Printf.bprintf b "  %s = %d\n" name v)
+    (counters t);
+  List.iter
+    (fun (name, s) ->
+      Printf.bprintf b "  %s: n=%d mean=%.6g p50=%.6g p99=%.6g max=%.6g\n" name
+        (Stats.count s) (Stats.mean s)
+        (Stats.percentile s 50.0)
+        (Stats.percentile s 99.0)
+        (Stats.max s))
+    (stats_pairs t);
+  Buffer.contents b
 
 let reset t =
   Hashtbl.reset t.counts;

@@ -21,6 +21,8 @@ module Server = struct
 
   let node t = t.node
 
+  let network t = t.network
+
   let metrics t = t.metrics
 
   let handle t ~src (r : Message.request) =

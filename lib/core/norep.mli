@@ -20,6 +20,8 @@ module Server : sig
 
   val node : t -> Bft_net.Network.node_id
 
+  val network : t -> Bft_net.Network.t
+
   val metrics : t -> Metrics.t
 end
 

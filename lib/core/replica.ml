@@ -9,6 +9,7 @@ module Keychain = Bft_crypto.Keychain
 module Rng = Bft_util.Rng
 module Enc = Bft_util.Codec.Enc
 module Dec = Bft_util.Codec.Dec
+module Trace = Bft_trace.Trace
 
 type client_entry = {
   mutable last_ts : int64;  (** highest executed timestamp *)
@@ -131,6 +132,22 @@ let peers_except_self t =
   |> List.filter (fun (p : Transport.peer) -> p.principal <> t.id)
 
 let muted t = match t.behavior with Behavior.Mute -> true | _ -> false
+
+(* --- protocol tracing ------------------------------------------------- *)
+
+(* Events are stamped with the CPU's virtual time, not the engine clock:
+   within one message handler the engine clock stands still while CPU
+   charges accrue, and the per-phase breakdown needs to see crypto and
+   execution costs inside the handler. *)
+let emit_trace t ?seqno ?view ?req_id ?detail kind =
+  let trc = Network.trace (Transport.network t.transport) in
+  if Trace.enabled trc then
+    Trace.emit trc
+      ~vtime:(Cpu.virtual_now (Transport.cpu t.transport))
+      ~node:t.id ?seqno ?view ?req_id ?detail kind
+
+let trace_req (r : Message.request) =
+  Trace.req_id ~client:r.Message.client ~ts:r.Message.timestamp
 
 (* --- piggybacked commits -------------------------------------------- *)
 
@@ -408,6 +425,10 @@ and send_reply t (r : Message.request) result ~tentative =
         body;
       }
     in
+    if not (muted t) then
+      emit_trace t ~view:t.view ~req_id:(trace_req r)
+        ~detail:(if tentative then "tentative" else "final")
+        Trace.Reply_sent;
     out_send t ~dst (Message.Reply reply)
 
 and resend_cached_reply t (r : Message.request) =
@@ -447,6 +468,9 @@ and execute_request t (r : Message.request) ~tentative undos =
     let result, undo = t.service.Service.execute ~client:r.Message.client ~op:r.Message.op in
     charge t
       (float_of_int (Payload.size result) *. (cal t).Calibration.byte_touch_cost);
+    emit_trace t ~view:t.view ~req_id:(trace_req r)
+      ~detail:(if tentative then "tentative" else "final")
+      Trace.Exec_request;
     let prev_ts = ce.last_ts
     and prev_result = ce.cached_result
     and prev_tent = ce.cached_tentative in
@@ -478,6 +502,8 @@ and execute_slot t (slot : Log.slot) ~tentative =
   slot.Log.executed <- true;
   t.last_executed <- slot.Log.seq;
   Metrics.incr t.metrics (if tentative then "exec.tentative" else "exec.final");
+  emit_trace t ~seqno:slot.Log.seq ~view:t.view
+    (if tentative then Trace.Exec_tentative else Trace.Exec_final);
   maybe_cancel_waiting_timer t
 
 and finalize_slot t (slot : Log.slot) =
@@ -622,6 +648,7 @@ and make_stable t seq digest =
       (fun s _ -> if s <= seq then Hashtbl.remove table s)
       (Hashtbl.copy table)
   in
+  emit_trace t ~seqno:seq ~view:t.view Trace.Checkpoint_stable;
   drop_below t.own_checkpoints;
   drop_below t.checkpoint_msgs;
   drop_below t.checkpoint_snapshots;
@@ -945,6 +972,9 @@ and send_pre_prepare t seq entries =
       (peers_except_self t)
   | _ -> out_multicast t (Message.Pre_prepare pp));
   Metrics.incr t.metrics "preprepare.sent";
+  emit_trace t ~seqno:seq ~view:t.view
+    ~detail:(string_of_int (List.length entries))
+    Trace.Preprepare_sent;
   ensure_resend_timer t;
   advance t
 
@@ -972,7 +1002,8 @@ and check_prepared t (slot : Log.slot) =
   if Log.is_prepared slot ~f:(f_of t) t.view then begin
     if slot.Log.prepared_at <> Some t.view then begin
       slot.Log.prepared_at <- Some t.view;
-      Metrics.incr t.metrics "prepared"
+      Metrics.incr t.metrics "prepared";
+      emit_trace t ~seqno:slot.Log.seq ~view:t.view Trace.Prepared
     end;
     if not slot.Log.own_commit_sent then broadcast_commit t slot;
     advance t
@@ -1008,6 +1039,7 @@ and check_committed t (slot : Log.slot) =
   if (not slot.Log.committed) && Log.is_committed slot ~f:(f_of t) t.view then begin
     slot.Log.committed <- true;
     Metrics.incr t.metrics "committed";
+    emit_trace t ~seqno:slot.Log.seq ~view:t.view Trace.Committed;
     advance t
   end
 
@@ -1058,6 +1090,7 @@ and on_pre_prepare t sender (pp : Message.pre_prepare) =
         store_bodies t pp.Message.entries;
         slot.Log.missing_bodies <- compute_missing t pp.Message.entries;
         Metrics.incr t.metrics "preprepare.accepted";
+        emit_trace t ~seqno:pp.Message.seq ~view:t.view Trace.Preprepare_accepted;
         t.max_pp_seen <- Stdlib.max t.max_pp_seen pp.Message.seq;
         ensure_resend_timer t;
         if slot.Log.missing_bodies = [] then begin
@@ -1217,6 +1250,10 @@ and on_request t sender (r : Message.request) =
   if sender <> r.Message.client then Metrics.incr t.metrics "request.bad_sender"
   else begin
     let ce = client_entry t r.Message.client in
+    if r.Message.timestamp > ce.last_ts then
+      emit_trace t ~view:t.view ~req_id:(trace_req r)
+        ~detail:(if is_primary t then "primary" else "backup")
+        Trace.Request_recv;
     if r.Message.timestamp <= ce.last_ts then begin
       resend_cached_reply t r;
       (* A retransmission answered from a still-tentative cached reply
@@ -1242,6 +1279,8 @@ and on_request t sender (r : Message.request) =
       in
       charge t (Calibration.digest_cost (cal t) (Payload.size result));
       Metrics.incr t.metrics "exec.read_only";
+      emit_trace t ~view:t.view ~req_id:(trace_req r) ~detail:"read-only"
+        Trace.Exec_request;
       if t.last_executed = t.last_committed && t.status = Normal then
         send_reply t r result ~tentative:false
       else t.deferred_ro <- (r, result) :: t.deferred_ro
@@ -1322,6 +1361,7 @@ and start_view_change t next_view =
       Hashtbl.reset t.vc_evidence;
       t.vc_attempts <- t.vc_attempts + 1;
       Metrics.incr t.metrics "viewchange.started";
+      emit_trace t ~view:next_view Trace.Viewchange_start;
       let prepared = ref [] in
       Log.iter t.log (fun slot ->
           match (slot.Log.prepared_at, slot.Log.pre_prepare, slot.Log.pp_digest) with
@@ -1578,6 +1618,7 @@ and install_new_view t (nv : Message.new_view) =
      executing anything in the new view. *)
   if min_s > t.last_executed then request_state t ~target:min_s;
   Metrics.incr t.metrics "newview.installed";
+  emit_trace t ~view:t.view Trace.Viewchange_end;
   arm_waiting_timer t;
   advance t
 
@@ -1710,6 +1751,7 @@ let dump t =
           (match slot.Log.prepared_at with Some v -> string_of_int v | None -> "-")
           slot.Log.committed slot.Log.executed slot.Log.finalized
           slot.Log.own_prepare_sent slot.Log.own_commit_sent);
+  Buffer.add_string b (Metrics.dump t.metrics);
   Buffer.contents b
 
 let start_recovery t =

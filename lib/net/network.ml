@@ -2,6 +2,7 @@ module Engine = Bft_sim.Engine
 module Cpu = Bft_sim.Cpu
 module Calibration = Bft_sim.Calibration
 module Rng = Bft_util.Rng
+module Trace = Bft_trace.Trace
 
 type node_id = int
 
@@ -15,6 +16,13 @@ type faults = {
 
 let no_faults = { drop_probability = 0.0; duplicate_probability = 0.0; blocked = [] }
 
+type node_counters = {
+  mutable nc_sent : int;  (** datagrams departing this host (per destination) *)
+  mutable nc_delivered : int;  (** datagrams handed to this host's handler *)
+  mutable nc_dropped : int;  (** datagrams addressed here that were lost *)
+  mutable nc_overflowed : int;  (** subset of [nc_dropped]: recv-buffer overflow *)
+}
+
 type node = {
   name : string;
   cpu : Cpu.t;
@@ -23,6 +31,7 @@ type node = {
   mutable egress_free : float;
   mutable ingress_free : float;
   recv_buffer : float;
+  counters : node_counters;
 }
 
 type t = {
@@ -37,6 +46,7 @@ type t = {
   mutable dropped : int;
   mutable delivered : int;
   mutable wire_bytes : int;
+  mutable trace : Trace.t;
 }
 
 let uid_counter = ref 0
@@ -55,7 +65,12 @@ let create engine cal ~rng =
     dropped = 0;
     delivered = 0;
     wire_bytes = 0;
+    trace = Trace.nil;
   }
+
+let set_trace t trace = t.trace <- trace
+
+let trace t = t.trace
 
 let engine t = t.engine
 
@@ -75,6 +90,8 @@ let add_node t ~cpu ?(recv_buffer = 0.02) ~name () =
       egress_free = 0.0;
       ingress_free = 0.0;
       recv_buffer;
+      counters =
+        { nc_sent = 0; nc_delivered = 0; nc_dropped = 0; nc_overflowed = 0 };
     }
   in
   if t.node_count = Array.length t.nodes then begin
@@ -110,12 +127,22 @@ let charge_recv t node size =
     (t.cal.Calibration.udp_recv_cost
     +. (float_of_int size *. t.cal.Calibration.byte_touch_cost))
 
+let drop t (node : node) ~id ~overflow ~why =
+  t.dropped <- t.dropped + 1;
+  node.counters.nc_dropped <- node.counters.nc_dropped + 1;
+  if overflow then node.counters.nc_overflowed <- node.counters.nc_overflowed + 1;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      ~vtime:(Engine.now t.engine)
+      ~node:id ~detail:why Trace.Net_drop
+
 (* Deliver one already-serialized datagram to [dst]'s ingress link. *)
 let deliver t ~src ~dst ~wire ~size ~arrival =
   let receiver = get t dst in
   let start = Float.max arrival receiver.ingress_free in
   let backlog = start -. arrival in
-  if backlog > receiver.recv_buffer then t.dropped <- t.dropped + 1
+  if backlog > receiver.recv_buffer then
+    drop t receiver ~id:dst ~overflow:true ~why:"overflow"
   else begin
     let serialization = Calibration.transmission_time t.cal size in
     receiver.ingress_free <- start +. serialization;
@@ -123,11 +150,18 @@ let deliver t ~src ~dst ~wire ~size ~arrival =
     Engine.schedule_at t.engine ready (fun () ->
         if receiver.up then begin
           t.delivered <- t.delivered + 1;
+          receiver.counters.nc_delivered <- receiver.counters.nc_delivered + 1;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              ~vtime:(Engine.now t.engine)
+              ~node:dst
+              ~detail:(Printf.sprintf "%s<-%d:%d" receiver.name src size)
+              Trace.Net_deliver;
           Cpu.dispatch receiver.cpu (fun () ->
               charge_recv t receiver size;
               receiver.handler ~src ~wire ~size)
         end
-        else t.dropped <- t.dropped + 1)
+        else drop t receiver ~id:dst ~overflow:false ~why:"down")
   end
 
 let unlucky t p = p > 0.0 && Rng.bernoulli t.rng p
@@ -141,18 +175,34 @@ let transmit t ~src ~dsts ~wire ~size =
     sender.egress_free <- departure +. serialization;
     let at_switch = departure +. serialization +. t.cal.Calibration.switch_latency in
     t.sent <- t.sent + List.length dsts;
+    sender.counters.nc_sent <- sender.counters.nc_sent + List.length dsts;
     t.wire_bytes <- t.wire_bytes + Calibration.wire_bytes t.cal size;
+    if Trace.enabled t.trace then begin
+      Trace.emit t.trace
+        ~vtime:(Engine.now t.engine)
+        ~node:src
+        ~detail:(Printf.sprintf "%s:%d*%d" sender.name size (List.length dsts))
+        Trace.Net_enqueue;
+      (* Emitted ahead of time at the (deterministic) instant the egress
+         link finishes clocking the datagram out. *)
+      Trace.emit t.trace
+        ~vtime:(departure +. serialization)
+        ~node:src ~detail:sender.name Trace.Net_serialize
+    end;
     List.iter
       (fun dst ->
         if dst = src then
           (* Loopback skips the wire but still crosses the UDP stack. *)
           Engine.schedule_at t.engine departure (fun () ->
               t.delivered <- t.delivered + 1;
+              sender.counters.nc_delivered <- sender.counters.nc_delivered + 1;
               Cpu.dispatch sender.cpu (fun () ->
                   charge_recv t sender size;
                   sender.handler ~src ~wire ~size))
-        else if blocked t ~src ~dst || unlucky t t.faults.drop_probability then
-          t.dropped <- t.dropped + 1
+        else if blocked t ~src ~dst then
+          drop t (get t dst) ~id:dst ~overflow:false ~why:"blocked"
+        else if unlucky t t.faults.drop_probability then
+          drop t (get t dst) ~id:dst ~overflow:false ~why:"fault"
         else begin
           deliver t ~src ~dst ~wire ~size ~arrival:at_switch;
           if unlucky t t.faults.duplicate_probability then
@@ -184,8 +234,29 @@ let delivered_datagrams t = t.delivered
 
 let bytes_on_wire t = t.wire_bytes
 
+let node_sent t id = (get t id).counters.nc_sent
+
+let node_delivered t id = (get t id).counters.nc_delivered
+
+let node_dropped t id = (get t id).counters.nc_dropped
+
+let node_overflowed t id = (get t id).counters.nc_overflowed
+
+let per_node_counters t =
+  List.init t.node_count (fun id ->
+      let node = t.nodes.(id) in
+      let c = node.counters in
+      (node.name, c.nc_sent, c.nc_delivered, c.nc_dropped, c.nc_overflowed))
+
 let reset_counters t =
   t.sent <- 0;
   t.dropped <- 0;
   t.delivered <- 0;
-  t.wire_bytes <- 0
+  t.wire_bytes <- 0;
+  for id = 0 to t.node_count - 1 do
+    let c = t.nodes.(id).counters in
+    c.nc_sent <- 0;
+    c.nc_delivered <- 0;
+    c.nc_dropped <- 0;
+    c.nc_overflowed <- 0
+  done

@@ -66,6 +66,15 @@ val send : t -> src:node_id -> dst:node_id -> ?size:int -> string -> unit
 val multicast : t -> src:node_id -> dsts:node_id list -> ?size:int -> string -> unit
 (** One egress serialization and one CPU send charge; per-receiver ingress. *)
 
+(* --- tracing --- *)
+
+val set_trace : t -> Bft_trace.Trace.t -> unit
+(** Install a trace sink; when live, datagram enqueue/serialize/deliver/
+    drop events are emitted (with the network node id in [node] and the
+    host name in [detail]). Defaults to {!Bft_trace.Trace.nil}. *)
+
+val trace : t -> Bft_trace.Trace.t
+
 (* --- counters for reports and tests --- *)
 
 val sent_datagrams : t -> int
@@ -76,4 +85,22 @@ val delivered_datagrams : t -> int
 
 val bytes_on_wire : t -> int
 
+(* Per-host counters: drops are attributed to the destination host, so a
+   saturation cliff (e.g. NO-REP past ~15 clients, paper Figure 4) shows
+   up on the overloaded server rather than only in the global total. *)
+
+val node_sent : t -> node_id -> int
+
+val node_delivered : t -> node_id -> int
+
+val node_dropped : t -> node_id -> int
+
+val node_overflowed : t -> node_id -> int
+(** Subset of [node_dropped] lost to receive-buffer overflow. *)
+
+val per_node_counters : t -> (string * int * int * int * int) list
+(** [(name, sent, delivered, dropped, overflowed)] per host, in node-id
+    order. *)
+
 val reset_counters : t -> unit
+(** Reset the global and per-node counters. *)

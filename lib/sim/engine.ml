@@ -1,14 +1,21 @@
 module Heap = Bft_util.Heap
+module Trace = Bft_trace.Trace
 
 type t = {
   mutable clock : float;
   queue : (unit -> unit) Heap.t;
   mutable stopped : bool;
+  mutable trace : Trace.t;
 }
 
-let create () = { clock = 0.0; queue = Heap.create (); stopped = false }
+let create () =
+  { clock = 0.0; queue = Heap.create (); stopped = false; trace = Trace.nil }
 
 let now t = t.clock
+
+let set_trace t trace = t.trace <- trace
+
+let trace t = t.trace
 
 let schedule_at t time fn =
   let time = Float.max time t.clock in
@@ -24,6 +31,8 @@ let step t =
   | Some time ->
     let fn = Heap.pop t.queue in
     t.clock <- Float.max t.clock time;
+    if Trace.sim_events t.trace then
+      Trace.emit t.trace ~vtime:t.clock ~node:(-1) Trace.Sim_fire;
     fn ();
     true
 

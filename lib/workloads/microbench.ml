@@ -13,19 +13,23 @@ type throughput_result = {
   completed : int;
   stalled_clients : int;
   retransmissions : int;
+  drops_by_node : (string * int * int) list;
+      (** (host, dropped, overflowed), hosts that dropped at least one *)
 }
 
 let client_speed = 700.0 /. 600.0  (* the paper's latency client was 700 MHz *)
 
-let bft_latency ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42) ~arg ~res
-    ~read_only () =
+let latency_warmup = 8
+
+let bft_latency ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
+    ?(trace = Bft_trace.Trace.nil) ~arg ~res ~read_only () =
   let cluster =
     Cluster.create ~seed ~client_machines:1 ~client_machine_speed:client_speed
-      ~config ~service:(fun _ -> Service.null ()) ()
+      ~trace ~config ~service:(fun _ -> Service.null ()) ()
   in
   let client = Cluster.add_client cluster in
   let op = Service.null_op ~read_only ~arg_size:arg ~result_size:res in
-  let warmup = 8 in
+  let warmup = latency_warmup in
   let stats = Stats.create () in
   let remaining = ref (warmup + ops) in
   let rec loop () =
@@ -84,6 +88,12 @@ let norep_latency ?(ops = 200) ?(seed = 42) ~arg ~res () =
   Engine.run ~until:120.0 engine;
   { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
 
+let drops_by_node network =
+  List.filter_map
+    (fun (name, _sent, _delivered, dropped, overflowed) ->
+      if dropped > 0 then Some (name, dropped, overflowed) else None)
+    (Network.per_node_counters network)
+
 let measure_window ~engine ~warmup ~window ~per_client_counts =
   (* per_client_counts () returns current completion counts. *)
   Engine.run ~until:warmup engine;
@@ -134,13 +144,15 @@ let bft_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42) ?(warmup = 0.5)
     completed;
     stalled_clients = stalled;
     retransmissions;
+    drops_by_node = drops_by_node (Cluster.network cluster);
   }
 
 let norep_throughput ?(seed = 42) ?(warmup = 0.5) ?(window = 1.0) ?(retry = false)
     ~arg ~res ~clients () =
-  let engine, _server, client_list =
+  let engine, server, client_list =
     norep_rig ~seed ~machines:5 ~clients ~retry
   in
+  let network = Norep.Server.network server in
   let op = Service.null_op ~read_only:false ~arg_size:arg ~result_size:res in
   let stagger = Rng.split (Rng.of_int seed) "stagger" in
   List.iter
@@ -165,4 +177,10 @@ let norep_throughput ?(seed = 42) ?(warmup = 0.5) ?(window = 1.0) ?(retry = fals
     if (not retry) && stalled * 4 > clients then nan
     else float_of_int completed /. window
   in
-  { ops_per_sec; completed; stalled_clients = stalled; retransmissions }
+  {
+    ops_per_sec;
+    completed;
+    stalled_clients = stalled;
+    retransmissions;
+    drops_by_node = drops_by_node network;
+  }

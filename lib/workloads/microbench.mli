@@ -8,16 +8,24 @@ type latency_result = {
   ops : int;
 }
 
+val latency_warmup : int
+(** Operations discarded before measurement starts in {!bft_latency} and
+    {!norep_latency}. *)
+
 val bft_latency :
   ?config:Bft_core.Config.t ->
   ?ops:int ->
   ?seed:int ->
+  ?trace:Bft_trace.Trace.t ->
   arg:int ->
   res:int ->
   read_only:bool ->
   unit ->
   latency_result
-(** Single client (700 MHz, as in Figures 2–3), ops invoked back to back. *)
+(** Single client (700 MHz, as in Figures 2–3), ops invoked back to back.
+    Pass a live [trace] sink to record the protocol trace of the run;
+    fold it with {!Bft_trace.Timeline.of_trace} [~skip:latency_warmup]
+    to decompose exactly the measured operations. *)
 
 val norep_latency :
   ?ops:int -> ?seed:int -> arg:int -> res:int -> unit -> latency_result
@@ -27,6 +35,10 @@ type throughput_result = {
   completed : int;
   stalled_clients : int;
   retransmissions : int;
+  drops_by_node : (string * int * int) list;
+      (** [(host, dropped, overflowed)] for every host that lost at least
+          one datagram — attributes a saturation cliff (e.g. NO-REP past
+          ~15 clients, paper Figure 4) to the overloaded server. *)
 }
 
 val bft_throughput :

@@ -44,3 +44,42 @@ let ratio_anchor ~description ~paper_ratio ~measured ~tolerance =
 
 let direction_anchor ~description ~paper ~holds ~measured =
   { description; paper; measured; ok = holds }
+
+let breakdown_section ?(id = "trace") ?(title = "Per-phase latency breakdown")
+    (tl : Bft_trace.Timeline.t) =
+  let module Stats = Bft_util.Stats in
+  let us x = x *. 1e6 in
+  let total_mean = Stats.mean tl.Bft_trace.Timeline.end_to_end in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s (%d requests, %d incomplete)"
+           title tl.Bft_trace.Timeline.requests tl.Bft_trace.Timeline.incomplete)
+      ~columns:
+        [
+          ("phase", Table.Left);
+          ("mean (us)", Table.Right);
+          ("p50 (us)", Table.Right);
+          ("p99 (us)", Table.Right);
+          ("share", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, stats) ->
+      if name = "end-to-end" then Table.add_separator table;
+      let mean = Stats.mean stats in
+      let share =
+        if name = "end-to-end" || Float.is_nan total_mean || total_mean = 0.0
+        then "-"
+        else Printf.sprintf "%.1f%%" (100.0 *. mean /. total_mean)
+      in
+      Table.add_row table
+        [
+          name;
+          Table.cell_f ~decimals:1 (us mean);
+          Table.cell_f ~decimals:1 (us (Stats.percentile stats 50.0));
+          Table.cell_f ~decimals:1 (us (Stats.percentile stats 99.0));
+          share;
+        ])
+    (Bft_trace.Timeline.phases tl);
+  { id; title; table; anchors = [] }

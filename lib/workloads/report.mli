@@ -29,3 +29,10 @@ val ratio_anchor :
 
 val direction_anchor :
   description:string -> paper:string -> holds:bool -> measured:string -> anchor
+
+val breakdown_section :
+  ?id:string -> ?title:string -> Bft_trace.Timeline.t -> section
+(** Render a folded trace timeline as a per-phase latency table
+    (mean/p50/p99 in microseconds plus each phase's share of the
+    end-to-end mean), in the style of the paper's Section 4.2 latency
+    discussion. *)

@@ -75,6 +75,42 @@ let test_metrics () =
   Metrics.reset m;
   check Alcotest.int "reset" 0 (Metrics.count m "x")
 
+let test_metrics_sorting_and_dump () =
+  let m = Metrics.create () in
+  (* Same value under several names: a polymorphic-compare sort would order
+     on the payload; the contract is name order only. *)
+  List.iter
+    (fun name -> Metrics.incr ~by:7 m name)
+    [ "zeta"; "alpha"; "mid"; "beta" ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "counters in name order"
+    [ ("alpha", 7); ("beta", 7); ("mid", 7); ("zeta", 7) ]
+    (Metrics.counters m);
+  Metrics.sample m "b.lat" 2.0;
+  Metrics.observe_duration m "a.span" ~start:1.5 ~stop:4.0;
+  check
+    (Alcotest.list Alcotest.string)
+    "stats_pairs in name order" [ "a.span"; "b.lat" ]
+    (List.map fst (Metrics.stats_pairs m));
+  (match Metrics.samples m "a.span" with
+  | Some s ->
+    check (Alcotest.float 1e-9) "observe_duration records stop-start" 2.5
+      (Bft_util.Stats.mean s)
+  | None -> Alcotest.fail "observe_duration recorded nothing");
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let dump = Metrics.dump m in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool
+        (Printf.sprintf "dump mentions %s" needle)
+        true (contains dump needle))
+    [ "alpha = 7"; "zeta = 7"; "a.span"; "p99" ]
+
 (* --- behavior ------------------------------------------------------------ *)
 
 let test_behavior_classification () =
@@ -311,7 +347,12 @@ let () =
           Alcotest.test_case "primary rotation" `Quick test_primary_rotation;
           Alcotest.test_case "config validation" `Quick test_config_validation;
         ] );
-      ("metrics", [ Alcotest.test_case "counters and samples" `Quick test_metrics ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and samples" `Quick test_metrics;
+          Alcotest.test_case "name-order sort and dump" `Quick
+            test_metrics_sorting_and_dump;
+        ] );
       ( "behavior",
         [ Alcotest.test_case "classification" `Quick test_behavior_classification ] );
       ( "merkle",
