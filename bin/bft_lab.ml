@@ -144,82 +144,118 @@ let andrew_cmd =
 
 let chaos_cmd =
   let doc =
-    "Long randomized fault-injection soak: random Byzantine behaviour, \
-     datagram loss and duplication, periodic proactive recovery; verifies \
-     agreement and client completion at the end."
+    "Deterministic chaos campaigns: seeded fault plans (crashes, restarts, \
+     partitions, loss, duplication, runtime Byzantine switches, client \
+     bursts) executed against a live cluster, with a safety/liveness \
+     invariant check per campaign and greedy shrinking of the first \
+     failing plan. Emits one JSON line per campaign; exits non-zero on \
+     any violation."
   in
-  let seconds =
-    Arg.(value & opt float 30.0 & info [ "seconds" ] ~doc:"Virtual seconds to run.")
+  let module Plan = Bft_chaos.Plan in
+  let module Campaign = Bft_chaos.Campaign in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let campaigns =
+    Arg.(value & opt int 20 & info [ "campaigns" ] ~doc:"Number of campaigns.")
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
-  let run seconds seed =
-    let open Bft_core in
-    let rng = Bft_util.Rng.of_int seed in
-    let behaviors =
-      let target = Bft_util.Rng.int rng 4 in
-      match Bft_util.Rng.int rng 6 with
-      | 0 -> []
-      | 1 -> [ (target, Behavior.Mute) ]
-      | 2 -> [ (target, Behavior.Corrupt_replies) ]
-      | 3 -> [ (target, Behavior.Forge_auth) ]
-      | 4 -> [ (target, Behavior.Crash_at (Bft_util.Rng.float rng (seconds /. 4.0))) ]
-      | _ -> [ (target, Behavior.Two_faced) ]
-    in
-    let config = Config.make ~f:1 ~checkpoint_interval:16 ~log_window:32 () in
-    let cluster =
-      Cluster.create ~config ~seed ~behaviors
-        ~service:(fun _ -> Bft_services.Kv_store.service ())
-        ()
-    in
-    Bft_net.Network.set_faults (Cluster.network cluster)
-      {
-        Bft_net.Network.drop_probability = Bft_util.Rng.float rng 0.05;
-        duplicate_probability = Bft_util.Rng.float rng 0.03;
-        blocked = [];
-      };
-    let clients = List.init 4 (fun _ -> Cluster.add_client cluster) in
-    let completed = ref 0 in
-    List.iteri
-      (fun i client ->
-        let rec loop k =
-          Client.invoke client
-            (Bft_services.Kv_store.op_payload
-               (Bft_services.Kv_store.Put (Printf.sprintf "c%d-k%d" i k, "v")))
-            (fun _ ->
-              incr completed;
-              loop (k + 1))
-        in
-        loop 0)
-      clients;
-    (* a proactive recovery rotation on top *)
-    let sched =
-      Recovery_scheduler.start ~engine:(Cluster.engine cluster)
-        ~replicas:(Cluster.replicas cluster) ~period:(seconds /. 3.0)
-    in
-    Cluster.run ~until:seconds cluster;
-    Recovery_scheduler.stop sched;
-    (* agreement audit across correct replicas *)
-    let audits =
-      Cluster.correct_replicas cluster |> List.map Replica.executed_digests
-    in
-    let table = Hashtbl.create 64 in
-    let violations = ref 0 in
-    List.iter
-      (List.iter (fun (seq, digest) ->
-           match Hashtbl.find_opt table seq with
-           | None -> Hashtbl.replace table seq digest
-           | Some d ->
-             if not (Bft_crypto.Fingerprint.equal d digest) then incr violations))
-      audits;
-    Printf.printf
-      "chaos: %d ops completed, %d recoveries, %d agreement violations\n"
-      !completed
-      (Recovery_scheduler.recoveries_started sched)
-      !violations;
-    Array.iter (fun r -> print_string (Replica.dump r)) (Cluster.replicas cluster);
-    if !violations > 0 then exit 1
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~doc:"Replay one plan from $(docv) instead of generating."
+          ~docv:"FILE")
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seconds $ seed)
+  let horizon =
+    Arg.(
+      value & opt float 6.0
+      & info [ "horizon" ] ~doc:"Virtual seconds of faulted window per campaign.")
+  in
+  let shrunk_out =
+    Arg.(
+      value
+      & opt string "chaos_shrunk.plan"
+      & info [ "shrunk-out" ]
+          ~doc:"Where to write the minimal failing plan." ~docv:"FILE")
+  in
+  let unsafe =
+    Arg.(
+      value & flag
+      & info
+          [ "unsafe-no-commit-quorum" ]
+          ~doc:
+            "Self-test: run the deliberately unsound protocol variant that \
+             treats prepared batches as committed, to prove the checker \
+             catches (and shrinks) real safety violations.")
+  in
+  let n_replicas = 4 in
+  let read_plan file =
+    let ic =
+      try open_in file
+      with Sys_error msg ->
+        Printf.eprintf "bft_lab chaos: %s\n" msg;
+        exit 2
+    in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Plan.of_string s with
+    | Error msg ->
+      Printf.eprintf "bft_lab chaos: %s: %s\n" file msg;
+      exit 2
+    | Ok plan -> (
+      match Plan.validate ~n:n_replicas plan with
+      | Error msg ->
+        Printf.eprintf "bft_lab chaos: %s: %s\n" file msg;
+        exit 2
+      | Ok () -> plan)
+  in
+  let run seed campaigns plan_file horizon shrunk_out unsafe =
+    let run_plan ~seed plan =
+      Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan ()
+    in
+    let report_failure ~campaign ~seed outcome =
+      let shrunk, shrunk_outcome =
+        Campaign.shrink ~run:(fun p -> run_plan ~seed p) outcome.Campaign.plan
+      in
+      Printf.eprintf
+        "bft_lab chaos: campaign %d (seed %d) violated invariants; shrunk \
+         %d-event plan to %d events\n"
+        campaign seed
+        (List.length outcome.Campaign.plan)
+        (List.length shrunk);
+      List.iter
+        (fun v ->
+          Printf.eprintf "  %s: %s\n" v.Campaign.invariant v.Campaign.detail)
+        shrunk_outcome.Campaign.violations;
+      (try
+         let oc = open_out shrunk_out in
+         output_string oc (Plan.to_string shrunk);
+         close_out oc;
+         Printf.eprintf "  minimal plan written to %s (replay with --plan)\n"
+           shrunk_out
+       with Sys_error msg -> Printf.eprintf "  cannot write %s: %s\n" shrunk_out msg);
+      print_endline (Campaign.jsonl ~campaign shrunk_outcome);
+      exit 1
+    in
+    match plan_file with
+    | Some file ->
+      let plan = read_plan file in
+      let outcome = run_plan ~seed plan in
+      print_endline (Campaign.jsonl outcome);
+      if Campaign.failed outcome then report_failure ~campaign:0 ~seed outcome
+    | None ->
+      let root = Bft_util.Rng.of_int seed in
+      for campaign = 0 to campaigns - 1 do
+        let rng = Bft_util.Rng.split root (Printf.sprintf "campaign%d" campaign) in
+        let plan = Plan.generate ~rng ~n:n_replicas ~f:1 ~horizon in
+        let campaign_seed = Bft_util.Rng.int rng (1 lsl 30) in
+        let outcome = run_plan ~seed:campaign_seed plan in
+        print_endline (Campaign.jsonl ~campaign outcome);
+        if Campaign.failed outcome then
+          report_failure ~campaign ~seed:campaign_seed outcome
+      done
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe)
 
 let all_cmd =
   let doc = "Run every figure (the full benchmark suite)." in

@@ -1,0 +1,315 @@
+module Engine = Bft_sim.Engine
+module Network = Bft_net.Network
+module Rng = Bft_util.Rng
+module Fingerprint = Bft_crypto.Fingerprint
+open Bft_core
+
+type violation = { invariant : string; detail : string }
+
+type outcome = {
+  seed : int;
+  plan : Plan.t;
+  ops_total : int;
+  ops_completed : int;
+  final_view : int;
+  views_after_heal : int;
+  sim_time : float;
+  violations : violation list;
+}
+
+let failed o = o.violations <> []
+
+(* Campaign shape: fixed so that a (seed, plan) pair pins down the whole
+   run. Three steady clients keep a closed-loop shared-counter workload
+   running across the whole faulted window — faults that land on an idle
+   protocol exercise nothing — plus two clients that fire the
+   Client_burst events. The counter makes execution order
+   client-observable: every Add reply is the pre-add value. *)
+let f = 1
+let steady_clients = 3
+let burst_clients = 2
+let steady_think = 0.02 (* mean gap between a reply and the next request *)
+let settle_budget = 60.0
+let max_views_after_heal = 8
+
+let digest_short d =
+  let s = Format.asprintf "%a" Fingerprint.pp d in
+  if String.length s > 12 then String.sub s 0 12 else s
+
+(* Agreement: every audited replica must have committed the same batch at
+   every sequence number it finally executed. *)
+let audit_agreement replicas audited =
+  let table : (int, int * Fingerprint.t) Hashtbl.t = Hashtbl.create 256 in
+  let violations = ref [] in
+  List.iter
+    (fun rid ->
+      List.iter
+        (fun (seq, digest) ->
+          match Hashtbl.find_opt table seq with
+          | None -> Hashtbl.replace table seq (rid, digest)
+          | Some (rid0, d0) ->
+            if not (Fingerprint.equal d0 digest) && List.length !violations < 3
+            then
+              violations :=
+                {
+                  invariant = "safety.agreement";
+                  detail =
+                    Printf.sprintf
+                      "seq %d: replica %d executed %s, replica %d executed %s"
+                      seq rid0 (digest_short d0) rid (digest_short digest);
+                }
+                :: !violations)
+        (Replica.executed_digests replicas.(rid)))
+    audited;
+  List.rev !violations
+
+(* Reply consistency: two audited replicas whose committed client tables
+   agree on a client's latest timestamp must agree on the result digest
+   they would answer with. *)
+let audit_replies replicas audited =
+  let table : (int * int64, int * Fingerprint.t) Hashtbl.t = Hashtbl.create 64 in
+  let violations = ref [] in
+  List.iter
+    (fun rid ->
+      List.iter
+        (fun (client, ts, digest) ->
+          match Hashtbl.find_opt table (client, ts) with
+          | None -> Hashtbl.replace table (client, ts) (rid, digest)
+          | Some (rid0, d0) ->
+            if not (Fingerprint.equal d0 digest) && List.length !violations < 3
+            then
+              violations :=
+                {
+                  invariant = "safety.replies";
+                  detail =
+                    Printf.sprintf
+                      "client %d ts %Ld: replica %d replies %s, replica %d \
+                       replies %s"
+                      client ts rid0 (digest_short d0) rid (digest_short digest);
+                }
+                :: !violations)
+        (Replica.client_replies replicas.(rid)))
+    audited;
+  List.rev !violations
+
+let run ?(unsafe_no_commit_quorum = false) ~seed ~plan () =
+  let config =
+    Config.make ~f ~checkpoint_interval:8 ~log_window:16
+      ~unsafe_no_commit_quorum ()
+  in
+  let n = config.Config.n in
+  let cluster =
+    Cluster.create ~config ~seed ~client_machines:2
+      ~service:(fun _ -> Bft_services.Counter.service ())
+      ()
+  in
+  let engine = Cluster.engine cluster in
+  let network = Cluster.network cluster in
+  let horizon = Stdlib.max 3.0 (Plan.duration plan +. 1.0) in
+  let camp_rng = Cluster.rng cluster "campaign" in
+  let payload = Bft_services.Counter.op_payload (Bft_services.Counter.Add ("shared", 1)) in
+  (* workload *)
+  let steady = List.init steady_clients (fun _ -> Cluster.add_client cluster) in
+  let burst = Array.init burst_clients (fun _ -> Cluster.add_client cluster) in
+  let burst_total =
+    List.fold_left
+      (fun acc e ->
+        match e.Plan.action with Plan.Client_burst k -> acc + k | _ -> acc)
+      0 plan
+  in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  List.iteri
+    (fun i client ->
+      let rng = Rng.split camp_rng (Printf.sprintf "steady%d" i) in
+      let rec step () =
+        if Engine.now engine < horizon then begin
+          incr issued;
+          Client.invoke client payload (fun _ ->
+              incr completed;
+              Engine.schedule engine
+                ~delay:(Rng.float rng (2.0 *. steady_think))
+                step)
+        end
+      in
+      Engine.schedule engine ~delay:(Rng.float rng steady_think) step)
+    steady;
+  let burst_pending = Array.make burst_clients 0 in
+  let rec pump_burst j =
+    if burst_pending.(j) > 0 && not (Client.busy burst.(j)) then begin
+      burst_pending.(j) <- burst_pending.(j) - 1;
+      Client.invoke burst.(j) payload (fun _ ->
+          incr completed;
+          pump_burst j)
+    end
+  in
+  (* plan execution *)
+  let ever_byz = Array.make n false in
+  let cur_behavior = Array.make n Behavior.Correct in
+  let crashed = Array.make n false in
+  let apply = function
+    | Plan.Crash r ->
+      crashed.(r) <- true;
+      Cluster.crash_replica cluster r
+    | Plan.Restart r ->
+      crashed.(r) <- false;
+      Cluster.restart_replica cluster r
+    | Plan.Partition groups ->
+      Network.install_partition network
+        ~groups:(List.map (List.map (Cluster.replica_node cluster)) groups)
+    | Plan.Heal -> Network.heal_partition network
+    | Plan.Set_loss p -> Network.set_loss network p
+    | Plan.Set_dup p -> Network.set_duplication network p
+    | Plan.Behavior_switch (r, b) ->
+      if not (Behavior.is_correct b) then ever_byz.(r) <- true;
+      cur_behavior.(r) <- b;
+      Cluster.set_behavior cluster r b
+    | Plan.Client_burst k ->
+      for j = 0 to k - 1 do
+        let c = j mod burst_clients in
+        burst_pending.(c) <- burst_pending.(c) + 1
+      done;
+      for c = 0 to burst_clients - 1 do
+        pump_burst c
+      done
+  in
+  List.iter
+    (fun e -> Engine.schedule_at engine e.Plan.at (fun () -> apply e.Plan.action))
+    plan;
+  (* run the faulted window, then force-heal everything *)
+  Cluster.run ~until:horizon cluster;
+  Network.heal_partition network;
+  Network.set_loss network 0.0;
+  Network.set_duplication network 0.0;
+  for r = 0 to n - 1 do
+    if crashed.(r) then begin
+      crashed.(r) <- false;
+      Cluster.restart_replica cluster r
+    end;
+    if cur_behavior.(r) <> Behavior.Correct then begin
+      cur_behavior.(r) <- Behavior.Correct;
+      Cluster.set_behavior cluster r Behavior.Correct
+    end
+  done;
+  let replicas = Cluster.replicas cluster in
+  let audited =
+    List.init n (fun r -> r) |> List.filter (fun r -> not ever_byz.(r))
+  in
+  let max_view () =
+    List.fold_left (fun acc r -> Stdlib.max acc (Replica.view replicas.(r))) 0 audited
+  in
+  let view_at_heal = max_view () in
+  (* settle: advance in 1 s chunks until the workload drains (plus two
+     chunks of slack for trailing commits), a safety audit trips, or the
+     budget runs out *)
+  let violations = ref [] in
+  let deadline = horizon +. settle_budget in
+  let ops_total () = !issued + burst_total in
+  let rec settle t slack =
+    let safety = audit_agreement replicas audited @ audit_replies replicas audited in
+    if safety <> [] then violations := safety
+    else if !completed >= ops_total () && slack >= 2 then ()
+    else if t >= deadline then begin
+      if !completed < ops_total () then
+        violations :=
+          [
+            {
+              invariant = "liveness.completion";
+              detail =
+                Printf.sprintf
+                  "%d of %d client operations completed %.0f s after heal"
+                  !completed (ops_total ()) settle_budget;
+            };
+          ]
+    end
+    else begin
+      let t' = Stdlib.min (t +. 1.0) deadline in
+      Cluster.run ~until:t' cluster;
+      settle t' (if !completed >= ops_total () then slack + 1 else 0)
+    end
+  in
+  settle horizon 0;
+  let final_view = max_view () in
+  let views_after_heal = Stdlib.max 0 (final_view - view_at_heal) in
+  if !violations = [] && views_after_heal > max_views_after_heal then
+    violations :=
+      [
+        {
+          invariant = "liveness.views";
+          detail =
+            Printf.sprintf "%d view changes after heal (bound %d)"
+              views_after_heal max_views_after_heal;
+        };
+      ];
+  {
+    seed;
+    plan;
+    ops_total = ops_total ();
+    ops_completed = !completed;
+    final_view;
+    views_after_heal;
+    sim_time = Cluster.now cluster;
+    violations = !violations;
+  }
+
+(* --- reporting --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jsonl ?(campaign = 0) o =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "{\"campaign\":%d,\"seed\":%d,\"events\":%d,\"ops_total\":%d,\"ops_completed\":%d,\"final_view\":%d,\"views_after_heal\":%d,\"sim_time\":%.6f,\"violations\":["
+    campaign o.seed (List.length o.plan) o.ops_total o.ops_completed o.final_view
+    o.views_after_heal o.sim_time;
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"invariant\":\"%s\",\"detail\":\"%s\"}" (escape v.invariant)
+        (escape v.detail))
+    o.violations;
+  Buffer.add_string b "],\"plan\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\"" (escape (Format.asprintf "%.6f %a" e.Plan.at Plan.pp_action e.Plan.action)))
+    o.plan;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* --- shrinking --- *)
+
+let shrink ~run plan =
+  let last_outcome = ref (run plan) in
+  if not (failed !last_outcome) then (plan, !last_outcome)
+  else
+    let rec pass events =
+      (* try deleting each event in turn; restart the scan after any hit so
+         we converge to a 1-minimal plan *)
+      let rec try_each prefix = function
+        | [] -> None
+        | e :: rest ->
+          let candidate = List.rev_append prefix rest in
+          let o = run candidate in
+          if failed o then begin
+            last_outcome := o;
+            Some candidate
+          end
+          else try_each (e :: prefix) rest
+      in
+      match try_each [] events with
+      | Some smaller -> pass smaller
+      | None -> events
+    in
+    let minimal = pass plan in
+    (minimal, !last_outcome)

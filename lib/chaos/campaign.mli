@@ -1,0 +1,50 @@
+(** One chaos campaign: drive a deterministic [f = 1] cluster with a
+    steady client workload, execute a {!Plan.t} against it via engine
+    timers, force-heal every fault at the horizon, and check the two
+    protocol invariants when the dust settles:
+
+    - {b safety}: all correct replicas agree on the batch committed at
+      every sequence number, and on the committed reply (result digest)
+      for every (client, timestamp) pair. Replicas that were ever switched
+      to a Byzantine behaviour are outside the fault assumption's
+      "correct" set and excluded from the audit; crash/restart replicas
+      are included (their amnesia is covered by the [f] budget).
+    - {b liveness}: once every fault is healed and at most [f] replicas
+      were ever faulty, every outstanding client operation completes
+      within the settle budget and without unbounded view thrashing.
+
+    Campaigns are deterministic: the same seed and plan produce the same
+    {!outcome} byte for byte (including the JSONL rendering). *)
+
+type violation = { invariant : string; detail : string }
+(** [invariant] is a stable dotted name ("safety.agreement",
+    "safety.replies", "liveness.completion", "liveness.views"). *)
+
+type outcome = {
+  seed : int;
+  plan : Plan.t;
+  ops_total : int;
+  ops_completed : int;
+  final_view : int;  (** max view over audited replicas at the end *)
+  views_after_heal : int;  (** view-change rounds consumed after forced heal *)
+  sim_time : float;  (** virtual seconds until the campaign settled *)
+  violations : violation list;
+}
+
+val failed : outcome -> bool
+
+val run : ?unsafe_no_commit_quorum:bool -> seed:int -> plan:Plan.t -> unit -> outcome
+(** Runs entirely in virtual time; [unsafe_no_commit_quorum] is the
+    deliberately unsound protocol variant used to self-test the checker
+    ({!Bft_core.Config.t}). *)
+
+val jsonl : ?campaign:int -> outcome -> string
+(** One JSON line (no trailing newline) with a stable field order, so
+    same-seed runs diff byte-identically. *)
+
+val shrink : run:(Plan.t -> outcome) -> Plan.t -> Plan.t * outcome
+(** Greedy event-deletion shrinking: repeatedly drop any single event
+    whose removal keeps the plan failing, until no single deletion does.
+    [run] must be the same closed campaign the plan originally failed
+    under. Returns the minimal plan and its (failing) outcome; if the
+    input plan does not fail under [run], returns it unchanged. *)

@@ -1,0 +1,57 @@
+(** Timed fault plans: the input language of the chaos campaigns.
+
+    A plan is a timeline of fault-injection events against a running
+    cluster. Plans are pure data with a stable text codec, so a failing
+    plan can be written to disk, shrunk to a minimal counterexample and
+    replayed byte-for-byte with [bft_lab chaos --plan FILE].
+
+    The generator keeps every campaign inside the paper's fault
+    assumption: Byzantine behaviour switches and crash/restart cycles are
+    drawn from a single fault set of at most [f] replicas (a replica that
+    loses its volatile log in a crash counts against the same budget the
+    proactive-recovery window does), so the safety invariants checked by
+    {!Campaign} are guaranteed to hold on a correct protocol. Partitions,
+    datagram loss and duplication are unrestricted: they may suspend
+    liveness while active but can never excuse a safety violation. *)
+
+type action =
+  | Crash of Bft_core.Types.replica_id  (** fail-stop the machine (datagrams dropped) *)
+  | Restart of Bft_core.Types.replica_id
+      (** bring the machine up and reboot the replica from its last stable
+          checkpoint; also meaningful without a prior [Crash] (a reboot) *)
+  | Partition of Bft_core.Types.replica_id list list
+      (** symmetric partition between the given replica groups; replicas
+          (and client machines) not named keep full connectivity *)
+  | Heal  (** remove the partition *)
+  | Set_loss of float  (** uniform datagram loss probability *)
+  | Set_dup of float  (** uniform datagram duplication probability *)
+  | Behavior_switch of Bft_core.Types.replica_id * Bft_core.Behavior.t
+      (** switch the replica's injected behaviour mid-run *)
+  | Client_burst of int  (** inject this many extra client operations *)
+
+type event = { at : float; action : action }
+
+type t = event list
+(** Sorted by time; ties fire in list order. *)
+
+val duration : t -> float
+(** Time of the last event, 0 for the empty plan. *)
+
+val pp_action : Format.formatter -> action -> unit
+
+val to_string : t -> string
+(** One event per line: ["0.500000 crash 2"], ["1.250000 partition 0|1,2,3"],
+    ["2.000000 behavior 1 replay"], ... Round-trips with {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parses the {!to_string} format. Blank lines and [#] comments are
+    ignored; events are re-sorted by time. *)
+
+val validate : n:int -> t -> (unit, string) result
+(** Replica ids in range, probabilities in [0,1], bursts positive,
+    partition groups disjoint, times non-negative. *)
+
+val generate : rng:Bft_util.Rng.t -> n:int -> f:int -> horizon:float -> t
+(** A random plan whose events all fire before [horizon]. Deterministic in
+    [rng]. Crash and Byzantine targets are confined to a fault set of [f]
+    replicas drawn once per plan (see the module comment). *)

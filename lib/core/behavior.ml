@@ -6,11 +6,13 @@ type t =
   | Corrupt_replies
   | Forge_auth
   | Stale_view
+  | Replay
   | Slow of float
 
 let is_correct = function
   | Correct | Slow _ -> true
-  | Crash_at _ | Mute | Two_faced | Corrupt_replies | Forge_auth | Stale_view ->
+  | Crash_at _ | Mute | Two_faced | Corrupt_replies | Forge_auth | Stale_view
+  | Replay ->
     false
 
 let pp fmt = function
@@ -21,4 +23,37 @@ let pp fmt = function
   | Corrupt_replies -> Format.pp_print_string fmt "corrupt-replies"
   | Forge_auth -> Format.pp_print_string fmt "forge-auth"
   | Stale_view -> Format.pp_print_string fmt "stale-view"
+  | Replay -> Format.pp_print_string fmt "replay"
   | Slow s -> Format.fprintf fmt "slow+%.0fus" (s *. 1e6)
+
+(* Stable names for fault-plan files: [of_string (to_string b) = Some b]. *)
+let to_string = function
+  | Correct -> "correct"
+  | Crash_at t -> Printf.sprintf "crash-at:%.6f" t
+  | Mute -> "mute"
+  | Two_faced -> "two-faced"
+  | Corrupt_replies -> "corrupt-replies"
+  | Forge_auth -> "forge-auth"
+  | Stale_view -> "stale-view"
+  | Replay -> "replay"
+  | Slow s -> Printf.sprintf "slow:%.6f" s
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "correct" -> Some Correct
+    | "mute" -> Some Mute
+    | "two-faced" -> Some Two_faced
+    | "corrupt-replies" -> Some Corrupt_replies
+    | "forge-auth" -> Some Forge_auth
+    | "stale-view" -> Some Stale_view
+    | "replay" -> Some Replay
+    | _ -> None)
+  | Some i -> (
+    let tag = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match (tag, float_of_string_opt arg) with
+    | "crash-at", Some v -> Some (Crash_at v)
+    | "slow", Some v -> Some (Slow v)
+    | _ -> None)

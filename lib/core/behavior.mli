@@ -2,7 +2,9 @@
 
     The paper assumes faulty nodes "may behave arbitrarily"; these are the
     concrete arbitrary behaviours the test suite exercises against the
-    protocol's safety and liveness claims. *)
+    protocol's safety and liveness claims. Behaviours can be installed at
+    replica construction or switched at runtime by a chaos plan
+    ({!Replica.set_behavior}). *)
 
 type t =
   | Correct
@@ -14,8 +16,17 @@ type t =
   | Corrupt_replies  (** executes honestly but replies with garbage *)
   | Forge_auth  (** emits messages with invalid MACs *)
   | Stale_view  (** keeps broadcasting messages from an old view *)
+  | Replay
+      (** records authenticated datagrams it receives and re-injects them
+          verbatim later — a replay attack; duplicate suppression and
+          timestamp checks must defuse it *)
   | Slow of float  (** adds CPU seconds to every handled message *)
 
 val is_correct : t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Stable encoding for fault-plan files; inverse of {!of_string}. *)
+
+val of_string : string -> t option

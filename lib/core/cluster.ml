@@ -49,6 +49,19 @@ let correct_replicas t =
   Array.to_list t.replicas
   |> List.filter (fun r -> Behavior.is_correct (Replica.behavior r))
 
+let replica_node t i = t.replica_peers.(i).Transport.node
+
+let client_machine_nodes t =
+  Array.to_list (Array.map (fun cm -> cm.cm_node) t.client_machines)
+
+let crash_replica t i = Network.set_node_up t.network (replica_node t i) false
+
+let restart_replica t i =
+  Network.set_node_up t.network (replica_node t i) true;
+  Replica.restart t.replicas.(i)
+
+let set_behavior t i b = Replica.set_behavior t.replicas.(i) b
+
 let trace t = Network.trace t.network
 
 let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)

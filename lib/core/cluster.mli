@@ -48,6 +48,24 @@ val now : t -> float
 val correct_replicas : t -> Replica.t list
 (** Replicas whose injected behaviour is non-Byzantine. *)
 
+(* --- runtime fault injection (chaos plans) --- *)
+
+val replica_node : t -> Types.replica_id -> Bft_net.Network.node_id
+
+val client_machine_nodes : t -> Bft_net.Network.node_id list
+(** Network nodes of the client machines, in machine order (for assigning
+    client machines to partition groups). *)
+
+val crash_replica : t -> Types.replica_id -> unit
+(** Fail-stop the replica's machine: its datagrams are dropped both ways. *)
+
+val restart_replica : t -> Types.replica_id -> unit
+(** Bring the machine back up and reboot the replica from its last stable
+    checkpoint ({!Replica.restart}). *)
+
+val set_behavior : t -> Types.replica_id -> Behavior.t -> unit
+(** Switch a replica's injected behaviour mid-run ({!Replica.set_behavior}). *)
+
 val rng : t -> string -> Bft_util.Rng.t
 (** Derive a labelled RNG from the cluster seed (for workloads). *)
 

@@ -18,6 +18,7 @@ type t = {
   batching : bool;
   separate_request_transmission : bool;
   public_key_signatures : bool;
+  unsafe_no_commit_quorum : bool;
 }
 
 let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
@@ -27,7 +28,7 @@ let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
     ?(digest_replies = true) ?(tentative_execution = true)
     ?(piggyback_commits = false) ?(read_only_optimization = true)
     ?(batching = true) ?(separate_request_transmission = true)
-    ?(public_key_signatures = false) ~f () =
+    ?(public_key_signatures = false) ?(unsafe_no_commit_quorum = false) ~f () =
   {
     f;
     n = (3 * f) + 1;
@@ -48,6 +49,7 @@ let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
     batching;
     separate_request_transmission;
     public_key_signatures;
+    unsafe_no_commit_quorum;
   }
 
 let validate t =

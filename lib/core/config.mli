@@ -30,6 +30,11 @@ type t = {
       (** authenticate protocol messages with simulated public-key
           signatures instead of MAC vectors (the Rampart/SecureRing-era
           design the paper credits its speed against) *)
+  unsafe_no_commit_quorum : bool;
+      (** DELIBERATELY UNSOUND, test-only: treat a prepared batch as
+          committed without waiting for the 2f+1 commit quorum. Exists so
+          the chaos invariant checker can prove it detects (and shrinks)
+          real safety violations; never enable it outside that self-test. *)
 }
 
 val make :
@@ -50,6 +55,7 @@ val make :
   ?batching:bool ->
   ?separate_request_transmission:bool ->
   ?public_key_signatures:bool ->
+  ?unsafe_no_commit_quorum:bool ->
   f:int ->
   unit ->
   t

@@ -39,7 +39,11 @@ type t = {
   lookup_client : client_id -> Transport.peer option;
   service : Service.t;
   rng : Rng.t;
-  behavior : Behavior.t;
+  mutable behavior : Behavior.t;
+  (* Replay attack: ring of recently received authenticated datagrams *)
+  replay_ring : (string * int) array;
+  mutable replay_len : int;
+  mutable replay_pos : int;
   metrics : Metrics.t;
   id : replica_id;
   mutable view : view;
@@ -1036,7 +1040,12 @@ and flush_commits t =
         (Message.Commit first)
 
 and check_committed t (slot : Log.slot) =
-  if (not slot.Log.committed) && Log.is_committed slot ~f:(f_of t) t.view then begin
+  let committed =
+    Log.is_committed slot ~f:(f_of t) t.view
+    || (t.config.Config.unsafe_no_commit_quorum
+       && Log.is_prepared slot ~f:(f_of t) t.view)
+  in
+  if (not slot.Log.committed) && committed then begin
     slot.Log.committed <- true;
     Metrics.incr t.metrics "committed";
     emit_trace t ~seqno:slot.Log.seq ~view:t.view Trace.Committed;
@@ -1703,11 +1712,34 @@ and handle_message t sender msg =
   | Message.New_key k -> if sender = k.Message.nk_replica then on_new_key t k
   | Message.Status st -> on_status t sender st
 
+(* Replay attack: keep a ring of authenticated datagrams exactly as they
+   arrived and occasionally re-inject one onto the wire, bypassing the
+   transport (the original sender's MAC vector is still valid for every
+   receiver the datagram was multicast to). Correct replicas must shrug
+   these off via duplicate suppression and timestamp checks. *)
+let maybe_replay t ~wire ~size =
+  t.replay_ring.(t.replay_pos) <- (wire, size);
+  t.replay_pos <- (t.replay_pos + 1) mod Array.length t.replay_ring;
+  t.replay_len <- Stdlib.min (t.replay_len + 1) (Array.length t.replay_ring);
+  if Rng.bernoulli t.rng 0.25 then begin
+    let old_wire, old_size = t.replay_ring.(Rng.int t.rng t.replay_len) in
+    let net = Transport.network t.transport in
+    let dsts =
+      peers_except_self t |> List.map (fun (p : Transport.peer) -> p.node)
+    in
+    Metrics.incr t.metrics "replay.injected";
+    Network.multicast net ~src:(Transport.node t.transport) ~dsts ~size:old_size
+      old_wire
+  end
+
 let handle_envelope t ~wire ~prefix_len ~size (env : Message.envelope) =
   (match t.behavior with
   | Behavior.Slow extra -> charge t extra
   | _ -> ());
   if Transport.check t.transport ~wire ~prefix_len ~size env then begin
+    (match t.behavior with
+    | Behavior.Replay -> maybe_replay t ~wire ~size
+    | _ -> ());
     Metrics.incr t.metrics ("recv." ^ Message.tag_name env.Message.msg);
     (* Piggybacked commits: only the sender's own commits are credible. *)
     List.iter
@@ -1772,6 +1804,87 @@ let start_recovery t =
           out_multicast t
             (Message.Get_state { from_seq = t.last_stable; replica = t.id }))
 
+(* Runtime behaviour switch (chaos plans). Behaviours that leave residue
+   outside the replica record are reconciled here: [Forge_auth] sets a
+   transport flag that must be cleared when switching back, and a pending
+   [Crash_at] cannot be un-scheduled so it is refused. *)
+let set_behavior t b =
+  (match b with
+  | Behavior.Crash_at _ ->
+    invalid_arg
+      "Replica.set_behavior: schedule crashes through the network (set_node_up)"
+  | _ -> ());
+  (match t.behavior with
+  | Behavior.Crash_at _ ->
+    invalid_arg "Replica.set_behavior: replica has a scheduled crash"
+  | _ -> ());
+  t.behavior <- b;
+  Transport.set_corrupt_auth t.transport (b = Behavior.Forge_auth);
+  Metrics.incr t.metrics ("behavior." ^ Behavior.to_string b);
+  (* A formerly mute replica may sit on armed timers whose ticks were
+     swallowed; nudge the retransmission machinery so it rejoins. *)
+  if Behavior.is_correct b then ensure_resend_timer t
+
+(* Reboot from the last stable checkpoint: everything volatile — the log
+   above the checkpoint, certificates, queued work, timers — is gone, as it
+   would be for a real process restart; the stable checkpoint, the keychain
+   and the replica's view number survive (BFT-PR keeps them on disk). The
+   replica then runs proactive recovery to refresh keys and re-validate or
+   re-fetch state from the quorum. *)
+let restart t =
+  Timer.cancel t.vc_timer;
+  Timer.cancel t.resend_timer;
+  Timer.cancel t.flush_timer;
+  Timer.cancel t.state_timer;
+  restore_snapshot t t.stable_snapshot;
+  t.log <- Log.create ~low:t.last_stable ~window:t.config.Config.log_window ();
+  t.last_executed <- t.last_stable;
+  t.last_committed <- t.last_stable;
+  t.status <- Normal;
+  t.target_view <- t.view;
+  t.deferred_ro <- [];
+  Queue.clear t.pending;
+  Hashtbl.reset t.queued_ts;
+  t.last_pp_seq <- t.last_stable;
+  Hashtbl.reset t.request_store;
+  Hashtbl.reset t.batch_store;
+  Hashtbl.reset t.own_checkpoints;
+  Hashtbl.reset t.checkpoint_snapshots;
+  Hashtbl.reset t.checkpoint_msgs;
+  Hashtbl.reset t.waiting;
+  t.vc_attempts <- 0;
+  Hashtbl.reset t.view_changes;
+  t.last_nv <- None;
+  t.resend_fast <- false;
+  t.resend_stalls <- 0;
+  t.resend_progress_mark <- t.last_stable;
+  t.max_pp_seen <- t.last_stable;
+  Hashtbl.reset t.vc_evidence;
+  t.commit_backlog <- [];
+  t.await_state <- None;
+  Hashtbl.reset t.state_votes;
+  Hashtbl.reset t.meta_votes;
+  t.fetch_ctx <- None;
+  t.replay_len <- 0;
+  t.replay_pos <- 0;
+  Metrics.incr t.metrics "restart";
+  start_recovery t;
+  ensure_resend_timer t
+
+(* Audit accessor for the chaos invariant checker: the per-client cache of
+   the latest executed request, restricted to entries backed by a commit
+   certificate. A client that accepted a result for (client, ts) must agree
+   with every correct replica's finalized cache entry for that timestamp. *)
+let client_replies t =
+  Hashtbl.fold
+    (fun client ce acc ->
+      match ce.cached_result with
+      | Some result when ce.last_ts >= 0L && not ce.cached_tentative ->
+        (client, ce.last_ts, Payload.digest result) :: acc
+      | _ -> acc)
+    t.client_table []
+  |> List.sort compare
+
 let create ~config ~transport ~replicas ~lookup_client ~service ~rng ~dispatcher
     ?(behavior = Behavior.Correct) () =
   let t =
@@ -1783,6 +1896,9 @@ let create ~config ~transport ~replicas ~lookup_client ~service ~rng ~dispatcher
       service;
       rng;
       behavior;
+      replay_ring = Array.make 32 ("", 0);
+      replay_len = 0;
+      replay_pos = 0;
       metrics = Metrics.create ();
       id = Transport.principal transport;
       view = 0;

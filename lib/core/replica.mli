@@ -51,8 +51,27 @@ val metrics : t -> Metrics.t
 
 val behavior : t -> Behavior.t
 
+val set_behavior : t -> Behavior.t -> unit
+(** Switch the injected behaviour at runtime (chaos plans). Clears the
+    [Forge_auth] transport flag when switching away from it and re-arms the
+    retransmission machinery when switching back to a correct behaviour.
+    Raises [Invalid_argument] for [Crash_at] (runtime crashes go through
+    {!Bft_net.Network.set_node_up}). *)
+
 val start_recovery : t -> unit
 (** Proactive recovery: refresh session keys and revalidate/refetch state. *)
+
+val restart : t -> unit
+(** Reboot from the last stable checkpoint: volatile state (log above the
+    checkpoint, certificates, queued requests, timers) is discarded; the
+    stable checkpoint, keychain and view survive. Ends by running
+    {!start_recovery} so the replica re-validates or re-fetches state. The
+    caller is responsible for having brought the network node back up. *)
+
+val client_replies : t -> (Types.client_id * int64 * Bft_crypto.Fingerprint.t) list
+(** Audit for the chaos checker: for each client, the latest executed
+    timestamp and result digest, restricted to entries backed by a commit
+    certificate (tentative cache entries are excluded); sorted by client. *)
 
 val executed_digests : t -> (Types.seqno * Bft_crypto.Fingerprint.t) list
 (** Audit trail for the safety tests: for every *finally* executed sequence

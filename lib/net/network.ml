@@ -120,7 +120,40 @@ let is_up t id = (get t id).up
 
 let set_faults t faults = t.faults <- faults
 
-let blocked t ~src ~dst = List.mem (src, dst) t.faults.blocked
+let set_node_up = set_up
+
+let set_loss t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_loss";
+  t.faults <- { t.faults with drop_probability = p }
+
+let set_duplication t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_duplication";
+  t.faults <- { t.faults with duplicate_probability = p }
+
+(* Partitions are symmetric: a blocked pair cuts the link in both
+   directions, as a real switch or cable fault would. *)
+let blocked t ~src ~dst =
+  List.mem (src, dst) t.faults.blocked || List.mem (dst, src) t.faults.blocked
+
+let install_partition t ~groups =
+  List.iter
+    (List.iter (fun id ->
+         if id < 0 || id >= t.node_count then
+           invalid_arg "Network.install_partition: bad node id"))
+    groups;
+  let pairs = ref [] in
+  let rec cross = function
+    | [] -> ()
+    | g :: rest ->
+      List.iter
+        (fun a -> List.iter (List.iter (fun b -> pairs := (a, b) :: !pairs)) rest)
+        g;
+      cross rest
+  in
+  cross groups;
+  t.faults <- { t.faults with blocked = List.rev !pairs }
+
+let heal_partition t = t.faults <- { t.faults with blocked = [] }
 
 let charge_recv t node size =
   Cpu.charge node.cpu

@@ -24,7 +24,9 @@ type handler = src:node_id -> wire:string -> size:int -> unit
 type faults = {
   drop_probability : float;  (** uniform datagram loss *)
   duplicate_probability : float;
-  blocked : (node_id * node_id) list;  (** directed partitions *)
+  blocked : (node_id * node_id) list;
+      (** partitioned pairs; each pair cuts the link in {e both} directions
+          (a severed cable drops traffic both ways) *)
 }
 
 val no_faults : faults
@@ -54,9 +56,32 @@ val node_name : t -> node_id -> string
 val set_up : t -> node_id -> bool -> unit
 (** A down node silently drops everything it receives. *)
 
+val set_node_up : t -> node_id -> bool -> unit
+(** Alias of {!set_up}; the name used by runtime fault plans. *)
+
 val is_up : t -> node_id -> bool
 
 val set_faults : t -> faults -> unit
+
+(* --- runtime fault mutation (chaos plans) ---
+
+   All of these may be called while the simulation is running; they affect
+   only datagrams transmitted after the call. *)
+
+val set_loss : t -> float -> unit
+(** Ramp the uniform drop probability; raises on values outside [0, 1]. *)
+
+val set_duplication : t -> float -> unit
+(** Ramp the duplication probability; raises on values outside [0, 1]. *)
+
+val install_partition : t -> groups:node_id list list -> unit
+(** Partition the network: nodes in different groups cannot exchange
+    datagrams (both directions); nodes within one group — and nodes listed
+    in no group — communicate freely. Replaces any previously installed
+    [blocked] pairs; loss and duplication probabilities are untouched. *)
+
+val heal_partition : t -> unit
+(** Clear every blocked pair (leaves loss/duplication untouched). *)
 
 val send : t -> src:node_id -> dst:node_id -> ?size:int -> string -> unit
 (** Charge the sender's CPU for the send, serialize on its egress link, and

@@ -1,0 +1,152 @@
+(* Chaos campaign machinery: plan codec, campaign determinism, checker
+   soundness on the correct protocol, and the self-test that proves the
+   checker catches (and shrinks) a real safety violation when the
+   deliberately unsound no-commit-quorum variant is enabled. *)
+
+module Plan = Bft_chaos.Plan
+module Campaign = Bft_chaos.Campaign
+module Rng = Bft_util.Rng
+
+let check = Alcotest.check
+
+let gen_plan seed = Plan.generate ~rng:(Rng.of_int seed) ~n:4 ~f:1 ~horizon:6.0
+
+let codec_roundtrip () =
+  for seed = 1 to 20 do
+    let plan = gen_plan seed in
+    let s = Plan.to_string plan in
+    match Plan.of_string s with
+    | Error msg -> Alcotest.failf "seed %d: parse failed: %s" seed msg
+    | Ok plan' ->
+      check Alcotest.string "codec fixpoint" s (Plan.to_string plan');
+      (match Plan.validate ~n:4 plan' with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "seed %d: generated plan invalid: %s" seed msg)
+  done
+
+let codec_comments () =
+  let src = "# a comment\n\n0.500000 crash 2\n0.250000 loss 0.100000\n" in
+  match Plan.of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok plan ->
+    check Alcotest.int "two events" 2 (List.length plan);
+    (* re-sorted by time *)
+    check Alcotest.string "sorted rendering"
+      "0.250000 loss 0.100000\n0.500000 crash 2\n" (Plan.to_string plan)
+
+let validate_rejects () =
+  let expect_error what plan =
+    match Plan.validate ~n:4 plan with
+    | Ok () -> Alcotest.failf "%s: expected validation error" what
+    | Error _ -> ()
+  in
+  expect_error "replica out of range"
+    [ { Plan.at = 0.1; action = Plan.Crash 7 } ];
+  expect_error "negative time" [ { Plan.at = -1.0; action = Plan.Heal } ];
+  expect_error "probability out of range"
+    [ { Plan.at = 0.1; action = Plan.Set_loss 1.5 } ];
+  expect_error "overlapping partition groups"
+    [ { Plan.at = 0.1; action = Plan.Partition [ [ 0; 1 ]; [ 1; 2 ] ] } ];
+  expect_error "single partition group"
+    [ { Plan.at = 0.1; action = Plan.Partition [ [ 0; 1; 2; 3 ] ] } ];
+  expect_error "empty burst" [ { Plan.at = 0.1; action = Plan.Client_burst 0 } ];
+  expect_error "crash-at behaviour switch"
+    [
+      {
+        Plan.at = 0.1;
+        action = Plan.Behavior_switch (1, Bft_core.Behavior.Crash_at 1.0);
+      };
+    ];
+  match
+    Plan.validate ~n:4
+      [ { Plan.at = 0.1; action = Plan.Partition [ [ 0 ]; [ 1; 2; 3 ] ] } ]
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid plan rejected: %s" msg
+
+(* Same seed and plan => byte-identical report. *)
+let campaign_deterministic () =
+  let plan = gen_plan 5 in
+  let run () = Campaign.run ~seed:907 ~plan () in
+  let a = Campaign.jsonl (run ()) in
+  let b = Campaign.jsonl (run ()) in
+  check Alcotest.string "byte-identical reports" a b
+
+(* Mirrors the bft_lab chaos driver's seed derivation. *)
+let driver_campaign ~root ~unsafe i =
+  let rng = Rng.split root (Printf.sprintf "campaign%d" i) in
+  let plan = Plan.generate ~rng ~n:4 ~f:1 ~horizon:6.0 in
+  let seed = Rng.int rng (1 lsl 30) in
+  (seed, plan, Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan ())
+
+let clean_campaigns () =
+  let root = Rng.of_int 42 in
+  for i = 0 to 4 do
+    let _, _, outcome = driver_campaign ~root ~unsafe:false i in
+    if Campaign.failed outcome then
+      Alcotest.failf "campaign %d: unexpected violations: %s" i
+        (Campaign.jsonl ~campaign:i outcome);
+    check Alcotest.int
+      (Printf.sprintf "campaign %d: all ops completed" i)
+      outcome.Campaign.ops_total outcome.Campaign.ops_completed
+  done
+
+(* The checker must catch the deliberately unsound variant, and the greedy
+   shrinker must reduce the failing plan to something minimal that still
+   fails (the acceptance bound is <= 5 events). *)
+let injected_bug_caught_and_shrunk () =
+  let root = Rng.of_int 42 in
+  let rec find i =
+    if i > 9 then
+      Alcotest.fail "no-commit-quorum bug not caught in 10 campaigns"
+    else
+      let seed, plan, outcome = driver_campaign ~root ~unsafe:true i in
+      if Campaign.failed outcome then (seed, plan, outcome) else find (i + 1)
+  in
+  let seed, plan, outcome = find 0 in
+  let safety =
+    List.exists
+      (fun v ->
+        v.Campaign.invariant = "safety.agreement"
+        || v.Campaign.invariant = "safety.replies")
+      outcome.Campaign.violations
+  in
+  check Alcotest.bool "violation is a safety violation" true safety;
+  let shrunk, shrunk_outcome =
+    Campaign.shrink
+      ~run:(fun p -> Campaign.run ~unsafe_no_commit_quorum:true ~seed ~plan:p ())
+      plan
+  in
+  check Alcotest.bool "shrunk plan still fails" true
+    (Campaign.failed shrunk_outcome);
+  if List.length shrunk > 5 then
+    Alcotest.failf "shrunk plan has %d events (> 5):\n%s" (List.length shrunk)
+      (Plan.to_string shrunk);
+  (* and the minimal plan must replay to the same verdict from its file form *)
+  match Plan.of_string (Plan.to_string shrunk) with
+  | Error msg -> Alcotest.failf "shrunk plan does not re-parse: %s" msg
+  | Ok reparsed ->
+    let replayed =
+      Campaign.run ~unsafe_no_commit_quorum:true ~seed ~plan:reparsed ()
+    in
+    check Alcotest.string "replay of shrunk plan is byte-identical"
+      (Campaign.jsonl shrunk_outcome)
+      (Campaign.jsonl replayed)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "codec round-trip" `Quick codec_roundtrip;
+          Alcotest.test_case "comments and sorting" `Quick codec_comments;
+          Alcotest.test_case "validation" `Quick validate_rejects;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic" `Slow campaign_deterministic;
+          Alcotest.test_case "clean on correct protocol" `Slow clean_campaigns;
+          Alcotest.test_case "injected bug caught and shrunk" `Slow
+            injected_bug_caught_and_shrunk;
+        ] );
+    ]

@@ -35,6 +35,46 @@ let run ~seed ~drop ~dup ~nclients ~ops ~behaviors () =
   check Alcotest.int "all operations complete" (nclients * ops) completed;
   Harness.check_agreement rig
 
+(* Proactive recovery landing on the primary while requests are in flight:
+   the rotation must not stall commitment beyond a bounded number of view
+   changes (one per primary hit, plus slack for the loss-induced ones).
+   The tight period makes every replica — each primary included — recover
+   several times during the run. *)
+let recovery_vs_view_change ~seed ~period () =
+  let config = Config.make ~f:1 ~checkpoint_interval:8 ~log_window:16 () in
+  let rig = Harness.make ~config ~seed ~behaviors:[] ~nclients:3 () in
+  let cluster = rig.Harness.cluster in
+  Bft_net.Network.set_faults (Cluster.network cluster)
+    {
+      Bft_net.Network.drop_probability = 0.02;
+      duplicate_probability = 0.01;
+      blocked = [];
+    };
+  let sched =
+    Recovery_scheduler.start ~engine:(Cluster.engine cluster)
+      ~replicas:(Cluster.replicas cluster) ~period
+  in
+  let completed = Harness.run_ops ~per_client:8 ~until:60.0 rig in
+  Recovery_scheduler.stop sched;
+  check Alcotest.int "all operations complete" (3 * 8) completed;
+  check Alcotest.bool "recoveries actually ran" true
+    (Recovery_scheduler.recoveries_started sched > 0);
+  (* each replica recovers recoveries/n times; only hits on the current
+     primary can force a view change, so view growth beyond that count
+     (plus slack for the 2% loss) is a stall *)
+  let max_view =
+    Array.fold_left
+      (fun acc r -> Stdlib.max acc (Replica.view r))
+      0 (Cluster.replicas cluster)
+  in
+  let primary_hits =
+    (Recovery_scheduler.recoveries_started sched + 3) / 4
+  in
+  if max_view > primary_hits + 2 then
+    Alcotest.failf "view %d after %d primary recoveries: commitment stalled"
+      max_view primary_hits;
+  Harness.check_agreement rig
+
 let cases =
   [
     (* mute primary + loss: cached-reply upgrade path *)
@@ -67,4 +107,11 @@ let () =
             Alcotest.test_case name `Slow
               (run ~seed ~drop ~dup ~nclients:3 ~ops:8 ~behaviors))
           cases );
+      ( "recovery",
+        [
+          Alcotest.test_case "proactive recovery vs view changes (seed 3)" `Slow
+            (recovery_vs_view_change ~seed:3 ~period:1.0);
+          Alcotest.test_case "proactive recovery vs view changes (seed 11)" `Slow
+            (recovery_vs_view_change ~seed:11 ~period:0.5);
+        ] );
     ]

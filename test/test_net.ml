@@ -117,10 +117,51 @@ let test_partition () =
       blocked = [ (r.nodes.(0), r.nodes.(1)) ];
     };
   Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
-  (* the reverse direction still works *)
+  (* a blocked pair cuts both directions *)
   Network.send r.net ~src:r.nodes.(1) ~dst:r.nodes.(0) "y";
+  (* a third party still reaches both sides *)
+  Network.send r.net ~src:r.nodes.(2) ~dst:r.nodes.(0) "z";
+  Network.send r.net ~src:r.nodes.(2) ~dst:r.nodes.(1) "w";
   Engine.run r.engine;
-  check Alcotest.int "one direction blocked" 1 (List.length !(r.received))
+  check Alcotest.int "pair blocked symmetrically" 2 (List.length !(r.received));
+  check Alcotest.int "drops counted" 2 (Network.dropped_datagrams r.net)
+
+let test_install_partition_and_heal () =
+  let r = make_rig ~count:4 () in
+  Network.install_partition r.net
+    ~groups:[ [ r.nodes.(0); r.nodes.(1) ]; [ r.nodes.(2) ] ];
+  (* within a group: fine; across groups: both directions dead; node 3 is in
+     no group and talks to everyone. *)
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "in-group";
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(2) "cross";
+  Network.send r.net ~src:r.nodes.(2) ~dst:r.nodes.(1) "cross-back";
+  Network.send r.net ~src:r.nodes.(3) ~dst:r.nodes.(2) "outsider";
+  Network.send r.net ~src:r.nodes.(2) ~dst:r.nodes.(3) "to-outsider";
+  Engine.run r.engine;
+  check Alcotest.int "only cross-group traffic lost" 3 (List.length !(r.received));
+  Network.heal_partition r.net;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(2) "healed";
+  Engine.run r.engine;
+  check Alcotest.int "healed" 4 (List.length !(r.received))
+
+let test_runtime_loss_ramp () =
+  let r = make_rig () in
+  Network.set_loss r.net 1.0;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Engine.run r.engine;
+  check Alcotest.int "all lost at p=1" 0 (List.length !(r.received));
+  Network.set_loss r.net 0.0;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Engine.run r.engine;
+  check Alcotest.int "ramp back down" 1 (List.length !(r.received));
+  Network.set_duplication r.net 1.0;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(1) "x";
+  Engine.run r.engine;
+  check Alcotest.int "duplicated" 3 (List.length !(r.received));
+  check Alcotest.bool "bad probability rejected" true
+    (match Network.set_loss r.net 1.5 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
 
 let test_buffer_overflow_drops () =
   (* A tiny receive buffer and a burst of large datagrams: the tail of the
@@ -179,6 +220,9 @@ let () =
           Alcotest.test_case "drop probability" `Quick test_drop_probability;
           Alcotest.test_case "duplication" `Quick test_duplication;
           Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "install/heal partition" `Quick
+            test_install_partition_and_heal;
+          Alcotest.test_case "runtime loss ramp" `Quick test_runtime_loss_ramp;
           Alcotest.test_case "buffer overflow" `Quick test_buffer_overflow_drops;
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "bandwidth bound" `Quick test_bandwidth_bound;
