@@ -190,4 +190,12 @@ let () =
   in
   sections := !sections @ timed "trace" (fun () -> breakdown ());
   summarize !sections;
+  banner "Saturation suite & perf trajectory (virtual + wall clock)";
+  (let module Saturation = Bft_workloads.Saturation in
+   let t = Saturation.run ~quick () in
+   Saturation.print t;
+   let oc = open_out "BENCH_micro.json" in
+   output_string oc (Saturation.to_json t);
+   close_out oc;
+   Printf.printf "wrote BENCH_micro.json\n%!");
   bechamel_benches ()

@@ -257,6 +257,90 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe)
 
+let bench_cmd =
+  let doc =
+    "Saturation bench suite: 0/0, 4/0, 0/4 micro-ops and the batched \
+     throughput curve, reporting virtual-time results (deterministic for a \
+     fixed seed; the golden regression surface) and wall-clock simulator \
+     throughput (the perf trajectory). Writes the full result as JSON and \
+     optionally compares the virtual-time part against a golden file."
+  in
+  let module Saturation = Bft_workloads.Saturation in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Small iteration counts (CI smoke run).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let json_out =
+    Arg.(
+      value
+      & opt string "BENCH_micro.json"
+      & info [ "json" ] ~doc:"Write the full (wall-clock included) result here."
+          ~docv:"FILE")
+  in
+  let golden =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ]
+          ~doc:
+            "Compare virtual-time results byte-for-byte against this golden \
+             file; exit non-zero on any difference."
+          ~docv:"FILE")
+  in
+  let write_golden =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-golden" ]
+          ~doc:"Write the virtual-time results to this golden file."
+          ~docv:"FILE")
+  in
+  let run quick seed json_out golden write_golden =
+    let t = Saturation.run ~quick ~seed () in
+    Saturation.print t;
+    let write path contents =
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "bft_lab: cannot write %s: %s\n" path msg;
+          exit 1
+      in
+      output_string oc contents;
+      close_out oc
+    in
+    write json_out (Saturation.to_json t);
+    Printf.printf "wrote %s\n" json_out;
+    (match write_golden with
+    | Some path ->
+      write path (Saturation.virtual_json t);
+      Printf.printf "wrote golden %s\n" path
+    | None -> ());
+    match golden with
+    | None -> ()
+    | Some path ->
+      let expected =
+        try In_channel.with_open_bin path In_channel.input_all
+        with Sys_error msg ->
+          Printf.eprintf "bft_lab: cannot read golden %s: %s\n" path msg;
+          exit 1
+      in
+      let actual = Saturation.virtual_json t in
+      if String.equal expected actual then
+        Printf.printf "golden check: OK (%s)\n" path
+      else begin
+        Printf.eprintf
+          "golden check FAILED: virtual-time results differ from %s\n\
+           --- expected ---\n\
+           %s--- actual ---\n\
+           %s" path expected actual;
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ quick $ seed $ json_out $ golden $ write_golden)
+
 let all_cmd =
   let doc = "Run every figure (the full benchmark suite)." in
   Cmd.v (Cmd.info "all" ~doc)
@@ -284,6 +368,7 @@ let cmds =
     figure_cmd "ablations" "Beyond-the-paper ablations." Ablations.all;
     latency_cmd;
     throughput_cmd;
+    bench_cmd;
     trace_cmd;
     andrew_cmd;
     chaos_cmd;

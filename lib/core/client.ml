@@ -20,6 +20,18 @@ type reply_record = {
   rr_view : view;
 }
 
+(* Running acceptance counts for one result digest, maintained
+   incrementally as replies arrive or are superseded — the acceptance
+   check is O(1) per reply instead of rebuilding a digest->counts table
+   (O(replies^2) per request). *)
+type tally = {
+  mutable t_total : int;
+  mutable t_committed : int;
+  mutable t_full : Payload.t option;
+  mutable t_full_committed : bool;
+      (* the stored full body came from a committed (non-tentative) reply *)
+}
+
 type pending = {
   ts : int64;
   op : Payload.t;
@@ -30,6 +42,7 @@ type pending = {
   started : float;
   mutable retries : int;
   replies : (replica_id, reply_record) Hashtbl.t;
+  tallies : (Fingerprint.t, tally) Hashtbl.t;
   mutable timer : Timer.t;
 }
 
@@ -116,56 +129,83 @@ and retransmit t p =
   if p.as_read_only then begin
     (* Fall back to the regular read-write protocol (Section 3.1). *)
     p.as_read_only <- false;
-    Hashtbl.reset p.replies
+    Hashtbl.reset p.replies;
+    Hashtbl.reset p.tallies
   end;
   transmit t p;
   arm_timer t p
 
-let check_acceptance t p =
-  (* Group matching replies by result digest. *)
-  let by_digest = Hashtbl.create 4 in
-  Hashtbl.iter
-    (fun _ rr ->
-      let total, committed, full =
-        match Hashtbl.find_opt by_digest rr.rr_digest with
-        | Some x -> x
-        | None -> (0, 0, None)
-      in
-      let full = match full with Some _ -> full | None -> rr.rr_full in
-      Hashtbl.replace by_digest rr.rr_digest
-        (total + 1, (committed + if rr.rr_tentative then 0 else 1), full))
-    p.replies;
+let tally_for p digest =
+  match Hashtbl.find_opt p.tallies digest with
+  | Some tally -> tally
+  | None ->
+    let tally =
+      { t_total = 0; t_committed = 0; t_full = None; t_full_committed = false }
+    in
+    Hashtbl.add p.tallies digest tally;
+    tally
+
+let tally_add p (rr : reply_record) =
+  let tally = tally_for p rr.rr_digest in
+  tally.t_total <- tally.t_total + 1;
+  if not rr.rr_tentative then tally.t_committed <- tally.t_committed + 1;
+  (match rr.rr_full with
+  | Some payload
+    when tally.t_full = None
+         || ((not tally.t_full_committed) && not rr.rr_tentative) ->
+    (* Keep a full body for the digest, preferring one vouched for by a
+       committed reply over one only tentatively executed. *)
+    tally.t_full <- Some payload;
+    tally.t_full_committed <- not rr.rr_tentative
+  | _ -> ());
+  tally
+
+let tally_remove p (rr : reply_record) =
+  (* The superseded record's counts go away; any full body it contributed
+     stays — a full result is bound to its digest regardless of which
+     replica delivered it first. *)
+  match Hashtbl.find_opt p.tallies rr.rr_digest with
+  | None -> ()
+  | Some tally ->
+    tally.t_total <- tally.t_total - 1;
+    if not rr.rr_tentative then tally.t_committed <- tally.t_committed - 1
+
+(* Acceptance is checked only for the digest the arriving reply touched:
+   counts for a digest change only when one of its own replies arrives (a
+   superseding reply can lower another digest's counts, but acceptance
+   thresholds are monotone so a decrement can never newly satisfy them).
+   The winner is therefore the first digest whose quorum completes in
+   arrival order — deterministic, rather than [Hashtbl.iter] order over a
+   rebuilt table. *)
+let check_acceptance t p (tally : tally) =
   let f = t.config.Config.f in
   let strong = (2 * f) + 1 and weak = f + 1 in
-  let winner = ref None in
-  Hashtbl.iter
-    (fun _digest (total, committed, full) ->
-      let enough =
-        if p.as_read_only && t.config.Config.read_only_optimization then
-          total >= strong
-        else committed >= weak || total >= strong
+  let enough =
+    if p.as_read_only && t.config.Config.read_only_optimization then
+      tally.t_total >= strong
+    else tally.t_committed >= weak || tally.t_total >= strong
+  in
+  if enough then
+    match tally.t_full with
+    | None ->
+      (* A quorum agrees on the digest but the designated replier's full
+         result has not arrived (yet). Per the paper, the client
+         retransmits "as usual" — on its timer — so a slow-but-correct
+         replier costs nothing and only a faulty one costs a timeout. *)
+      ()
+    | Some result ->
+      Timer.cancel p.timer;
+      t.pending <- None;
+      let view =
+        Hashtbl.fold (fun _ rr acc -> Stdlib.max acc rr.rr_view) p.replies 0
       in
-      if enough then winner := Some full)
-    by_digest;
-  match !winner with
-  | None -> ()
-  | Some None ->
-    (* A quorum agrees on the digest but the designated replier's full
-       result has not arrived (yet). Per the paper, the client retransmits
-       "as usual" — on its timer — so a slow-but-correct replier costs
-       nothing and only a faulty one costs a timeout. *)
-    ()
-  | Some (Some result) ->
-    Timer.cancel p.timer;
-    t.pending <- None;
-    let view = Hashtbl.fold (fun _ rr acc -> Stdlib.max acc rr.rr_view) p.replies 0 in
-    Metrics.incr t.metrics "ops.completed";
-    let latency = Engine.now (Transport.engine t.transport) -. p.started in
-    Metrics.sample t.metrics "latency" latency;
-    emit_trace t ~req_id:(trace_req t p)
-      ~detail:(string_of_int p.retries)
-      Trace.Client_deliver;
-    p.callback { result; latency; retries = p.retries; view }
+      Metrics.incr t.metrics "ops.completed";
+      let latency = Engine.now (Transport.engine t.transport) -. p.started in
+      Metrics.sample t.metrics "latency" latency;
+      emit_trace t ~req_id:(trace_req t p)
+        ~detail:(string_of_int p.retries)
+        Trace.Client_deliver;
+      p.callback { result; latency; retries = p.retries; view }
 
 let handle_reply t p (r : Message.reply) =
   let replica = r.Message.replica in
@@ -192,14 +232,17 @@ let handle_reply t p (r : Message.reply) =
        and a full result supersedes a digest-only reply (a designated
        replier's retransmission must not be blocked by the digest we
        already hold); otherwise the first reply wins. *)
-    (match Hashtbl.find_opt p.replies replica with
+    match Hashtbl.find_opt p.replies replica with
     | Some old
       when (old.rr_tentative && not record.rr_tentative)
            || (old.rr_full = None && record.rr_full <> None) ->
-      Hashtbl.replace p.replies replica record
+      Hashtbl.replace p.replies replica record;
+      tally_remove p old;
+      check_acceptance t p (tally_add p record)
     | Some _ -> ()
-    | None -> Hashtbl.add p.replies replica record);
-    check_acceptance t p
+    | None ->
+      Hashtbl.add p.replies replica record;
+      check_acceptance t p (tally_add p record)
   end
 
 let create ~config ~transport ~replicas ~rng ~dispatcher () =
@@ -216,14 +259,16 @@ let create ~config ~transport ~replicas ~rng ~dispatcher () =
     }
   in
   let sink ~wire ~prefix_len ~size env =
-    if Transport.check transport ~wire ~prefix_len ~size env then
+    match Transport.check transport ~wire ~prefix_len ~size env with
+    | Transport.Accepted -> (
       match env.Message.msg with
       | Message.Reply r -> (
         match t.pending with
         | Some p when r.Message.timestamp = p.ts -> handle_reply t p r
         | _ -> Metrics.incr t.metrics "reply.stale")
-      | _ -> Metrics.incr t.metrics "unexpected"
-    else Metrics.incr t.metrics "auth.failed"
+      | _ -> Metrics.incr t.metrics "unexpected")
+    | Transport.Replayed -> Metrics.incr t.metrics "auth.replay_dropped"
+    | Transport.Rejected -> Metrics.incr t.metrics "auth.failed"
   in
   Dispatcher.register_client dispatcher (id t) sink;
   t
@@ -248,6 +293,7 @@ let invoke t ?(read_only = false) op callback =
       started = Engine.now (Transport.engine t.transport);
       retries = 0;
       replies = Hashtbl.create 8;
+      tallies = Hashtbl.create 4;
       timer = Timer.never;
     }
   in

@@ -63,9 +63,15 @@ let get t seq =
 
 let truncate t ~new_low =
   if new_low > t.low then begin
-    Hashtbl.iter
-      (fun seq _ -> if seq <= new_low then Hashtbl.remove t.slots seq)
-      (Hashtbl.copy t.slots);
+    (* Collect the doomed keys, then delete in place — no copy of the
+       whole slot table per checkpoint. Keys are unique ([replace]-only
+       table), so remove-while-not-iterating is safe. *)
+    let doomed =
+      Hashtbl.fold
+        (fun seq _ acc -> if seq <= new_low then seq :: acc else acc)
+        t.slots []
+    in
+    List.iter (Hashtbl.remove t.slots) doomed;
     t.low <- new_low
   end
 

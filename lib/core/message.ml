@@ -403,22 +403,82 @@ let encode_body msg =
 
 (* --- digests --------------------------------------------------------- *)
 
-let request_digest (r : request) =
-  let enc = Enc.create () in
+(* Scratch reused across digest computations (none of them nest), plus a
+   small memo table for the "pad:N" framing strings. *)
+let digest_enc = Enc.create ~initial:256 ()
+
+let digest_builder = Fingerprint.create_builder ()
+
+let pad_strings : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let pad_string pad =
+  match Hashtbl.find_opt pad_strings pad with
+  | Some s -> s
+  | None ->
+    if Hashtbl.length pad_strings > 1024 then Hashtbl.reset pad_strings;
+    let s = Printf.sprintf "pad:%d" pad in
+    Hashtbl.replace pad_strings pad s;
+    s
+
+let request_digest_uncached (r : request) =
+  let enc = digest_enc in
+  Enc.clear enc;
   (* full_replies and replier are delivery hints, not part of the operation
      identity: a retransmission must hash to the same digest. *)
   Enc.u32 enc r.client;
   Enc.u64 enc r.timestamp;
   Enc.bool enc r.read_only;
   Payload.encode enc r.op;
-  Fingerprint.of_parts [ Enc.to_string enc; Printf.sprintf "pad:%d" r.op.Payload.pad ]
+  (* Byte-identical to
+     [Fingerprint.of_parts [body; Printf.sprintf "pad:%d" pad]]. *)
+  let b = digest_builder in
+  Fingerprint.reset_builder b;
+  Fingerprint.add_part_bytes b (Enc.unsafe_bytes enc) ~off:0 ~len:(Enc.length enc);
+  Fingerprint.add_part b (pad_string r.op.Payload.pad);
+  Fingerprint.finish b
+
+(* Requests are digested at every protocol step they appear in (batching,
+   ordering, execution, retransmission audit), so memoize per physical
+   record: request values are immutable and each decoded message yields one
+   record that flows through the whole pipeline. Keyed by identity — the
+   cache is an optimization only, structural duplicates just recompute. *)
+module Req_tbl = Hashtbl.Make (struct
+  type t = request
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let request_digest_cache : Fingerprint.t Req_tbl.t = Req_tbl.create 1024
+
+let request_digest (r : request) =
+  match Req_tbl.find_opt request_digest_cache r with
+  | Some d -> d
+  | None ->
+    (* Entries are keyed by identity and can never be revalidated once the
+       request record dies, so cap the table: a reset only costs
+       recomputation. *)
+    if Req_tbl.length request_digest_cache > 8192 then
+      Req_tbl.reset request_digest_cache;
+    let d = request_digest_uncached r in
+    Req_tbl.add request_digest_cache r d;
+    d
 
 let entry_digest = function
   | Full r -> request_digest r
   | Summary d -> d
   | Null_entry -> Fingerprint.zero
 
-let batch_digest entries = Fingerprint.of_parts (List.map entry_digest entries)
+let batch_builder = Fingerprint.create_builder ()
+
+let batch_digest entries =
+  (* Streaming form of [Fingerprint.of_parts (List.map entry_digest ...)];
+     needs its own builder because [entry_digest] uses [digest_builder]. *)
+  let b = batch_builder in
+  Fingerprint.reset_builder b;
+  List.iter (fun e -> Fingerprint.add_part b (entry_digest e)) entries;
+  Fingerprint.finish b
 
 (* --- modeled padding -------------------------------------------------- *)
 
@@ -443,11 +503,15 @@ let padding = function
 
 (* --- envelope --------------------------------------------------------- *)
 
-let encode_prefix ~sender ~msg ~commits =
-  let enc = Enc.create () in
+let encode_prefix_into enc ~sender ~msg ~commits =
+  Enc.clear enc;
   Enc.u32 enc sender;
   encode_msg enc msg;
-  Enc.list enc enc_commit commits;
+  Enc.list enc enc_commit commits
+
+let encode_prefix ~sender ~msg ~commits =
+  let enc = Enc.create () in
+  encode_prefix_into enc ~sender ~msg ~commits;
   Enc.to_string enc
 
 let append_auth prefix auth =

@@ -136,7 +136,9 @@ type envelope = {
 }
 
 val request_digest : request -> Fingerprint.t
-(** D(m) over the canonical encoding of the request. *)
+(** D(m) over the canonical encoding of the request. Memoized per physical
+    record: request values are immutable and each decoded message yields
+    one record reused across protocol steps. *)
 
 val entry_digest : batch_entry -> Fingerprint.t
 
@@ -152,6 +154,12 @@ val padding : t -> int
 val encode_prefix : sender:int -> msg:t -> commits:commit list -> string
 (** Envelope bytes before the authenticator — what the authenticator
     covers. *)
+
+val encode_prefix_into :
+  Bft_util.Codec.Enc.t -> sender:int -> msg:t -> commits:commit list -> unit
+(** [encode_prefix] into a caller-owned scratch encoder (cleared first), so
+    the sender can fingerprint the prefix in place and append the
+    authenticator without intermediate strings. *)
 
 val append_auth : string -> Bft_crypto.Auth.t -> string
 (** Complete an envelope from its prefix. *)

@@ -241,25 +241,41 @@ let vc_timeout t =
   t.config.Config.view_change_timeout
   *. Float.min 64.0 (Float.pow 2.0 (float_of_int t.vc_attempts))
 
+(* Garbage collection below a stable checkpoint: collect the doomed keys,
+   then delete in place — no [Hashtbl.copy] of the whole table per
+   checkpoint. All these tables use [Hashtbl.replace], so each key has at
+   most one binding. *)
+let drop_matching table keep =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if keep k then acc else k :: acc) table []
+  in
+  List.iter (Hashtbl.remove table) doomed
+
+(* How long stable-checkpoint certificates outlive the log window, in
+   multiples of [log_window] below the latest stable sequence number. They
+   are kept after the log itself is truncated because a straggler fetching
+   state can still present (and ask us to confirm) a checkpoint that far
+   back; past that distance it must state-transfer to a newer checkpoint
+   anyway, so the certificate is dead weight. Each entry is only a
+   (seqno, digest) pair — retention is cheap. *)
+let stable_cert_retention_windows = 4
+
 (* The forward-declaration knot: the handler web is mutually recursive. *)
 
 (* Drop waiting entries that were satisfied without this replica executing
    them itself — e.g. a state transfer jumped over their slot — or whose
    request body is gone (executed and garbage-collected). *)
 let rec prune_waiting t =
-  Hashtbl.iter
-    (fun digest _ ->
+  drop_matching t.waiting (fun digest ->
       match Hashtbl.find_opt t.request_store digest with
       | Some (r : Message.request) ->
         let ce = client_entry t r.Message.client in
         (* Satisfied only once executed *finally*: a tentative execution can
            still be stuck on its commit and must keep the timer alive. *)
-        if
-          r.Message.timestamp < ce.last_ts
-          || (r.Message.timestamp = ce.last_ts && not ce.cached_tentative)
-        then Hashtbl.remove t.waiting digest
-      | None -> Hashtbl.remove t.waiting digest)
-    (Hashtbl.copy t.waiting)
+        not
+          (r.Message.timestamp < ce.last_ts
+          || (r.Message.timestamp = ce.last_ts && not ce.cached_tentative))
+      | None -> false)
 
 and arm_waiting_timer t =
   if
@@ -647,23 +663,19 @@ and make_stable t seq digest =
   | Some snap -> t.stable_snapshot <- snap
   | None -> ());
   Log.truncate t.log ~new_low:seq;
-  let drop_below table =
-    Hashtbl.iter
-      (fun s _ -> if s <= seq then Hashtbl.remove table s)
-      (Hashtbl.copy table)
-  in
+  let drop_below table = drop_matching table (fun s -> s > seq) in
   emit_trace t ~seqno:seq ~view:t.view Trace.Checkpoint_stable;
   drop_below t.own_checkpoints;
   drop_below t.checkpoint_msgs;
   drop_below t.checkpoint_snapshots;
-  Hashtbl.iter
-    (fun d (s, _) -> if s <= seq then Hashtbl.remove t.batch_store d)
-    (Hashtbl.copy t.batch_store);
-  Hashtbl.iter
-    (fun s _ ->
-      if s <= seq - (4 * t.config.Config.log_window) then
-        Hashtbl.remove t.stable_certs s)
-    (Hashtbl.copy t.stable_certs);
+  (let doomed =
+     Hashtbl.fold
+       (fun d (s, _) acc -> if s <= seq then d :: acc else acc)
+       t.batch_store []
+   in
+   List.iter (Hashtbl.remove t.batch_store) doomed);
+  drop_matching t.stable_certs (fun s ->
+      s > seq - (stable_cert_retention_windows * t.config.Config.log_window));
   Metrics.incr t.metrics "checkpoint.stable";
   if is_primary t then try_send_batch t
 
@@ -911,18 +923,17 @@ and try_send_batch t =
     in
     let next_seq = Stdlib.max (t.last_pp_seq + 1) (t.last_stable + 1) in
     if window_open && Log.in_window t.log next_seq then begin
-      (* Pick requests off the queue up to the batch bound. *)
+      (* Pick requests off the queue up to the batch bound, deciding each
+         request's shape (inline vs digest summary) exactly once. *)
       let entries = ref [] and bytes = ref 0 and count = ref 0 in
       let continue = ref true in
       while !continue && not (Queue.is_empty t.pending) do
         let r = Queue.peek t.pending in
-        let sz =
-          if
-            cfg.Config.separate_request_transmission
-            && Payload.size r.Message.op > cfg.Config.inline_threshold
-          then Fingerprint.size
-          else request_wire_size r
+        let summarize =
+          cfg.Config.separate_request_transmission
+          && Payload.size r.Message.op > cfg.Config.inline_threshold
         in
+        let sz = if summarize then Fingerprint.size else request_wire_size r in
         if
           !count > 0
           && (!bytes + sz > cfg.Config.max_batch_bytes
@@ -934,10 +945,7 @@ and try_send_batch t =
           bytes := !bytes + sz;
           incr count;
           let entry =
-            if
-              cfg.Config.separate_request_transmission
-              && Payload.size r.Message.op > cfg.Config.inline_threshold
-            then Message.Summary (Message.request_digest r)
+            if summarize then Message.Summary (Message.request_digest r)
             else Message.Full r
           in
           entries := entry :: !entries
@@ -1736,7 +1744,8 @@ let handle_envelope t ~wire ~prefix_len ~size (env : Message.envelope) =
   (match t.behavior with
   | Behavior.Slow extra -> charge t extra
   | _ -> ());
-  if Transport.check t.transport ~wire ~prefix_len ~size env then begin
+  match Transport.check t.transport ~wire ~prefix_len ~size env with
+  | Transport.Accepted ->
     (match t.behavior with
     | Behavior.Replay -> maybe_replay t ~wire ~size
     | _ -> ());
@@ -1750,8 +1759,8 @@ let handle_envelope t ~wire ~prefix_len ~size (env : Message.envelope) =
         end)
       env.Message.commits;
     handle_message t env.Message.sender env.Message.msg
-  end
-  else Metrics.incr t.metrics "auth.failed"
+  | Transport.Replayed -> Metrics.incr t.metrics "auth.replay_dropped"
+  | Transport.Rejected -> Metrics.incr t.metrics "auth.failed"
 
 let dump t =
   let b = Buffer.create 256 in

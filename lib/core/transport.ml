@@ -7,12 +7,26 @@ module Keychain = Bft_crypto.Keychain
 
 type peer = { principal : int; node : Network.node_id }
 
+type verdict = Accepted | Replayed | Rejected
+
+(* Anti-replay state per sender: highest nonce accepted plus a bitmap over
+   the [nonce_window_size] nonces below it (bit [i] = [highest - i] seen).
+   Senders draw nonces from a per-transport monotonic counter and the
+   simulated network delivers each (src, dst) link in FIFO order, so a
+   bounded window cannot reject a first delivery; anything below the window
+   is necessarily a replay. *)
+type nonce_window = { mutable highest : int64; mutable bits : int64 }
+
+let nonce_window_size = 64
+
 type t = {
   net : Network.t;
   keychain : Keychain.t;
   node : Network.node_id;
   pk_mode : bool;
   mutable nonce : int64;
+  scratch : Bft_util.Codec.Enc.t; (* wire assembly buffer, one per sender *)
+  windows : (int, nonce_window) Hashtbl.t; (* sender -> anti-replay state *)
   mutable tamper : (Message.t -> Message.t) option;
   mutable corrupt_auth : bool;
 }
@@ -24,6 +38,8 @@ let create net ~keychain ~node ?(public_key_signatures = false) () =
     node;
     pk_mode = public_key_signatures;
     nonce = 0L;
+    scratch = Bft_util.Codec.Enc.create ~initial:1024 ();
+    windows = Hashtbl.create 16;
     tamper = None;
     corrupt_auth = false;
   }
@@ -76,13 +92,19 @@ let charge_recv_crypto t ~size =
 
 let build t ~commits ~targets msg =
   let msg = match t.tamper with None -> msg | Some f -> f msg in
-  let prefix = Message.encode_prefix ~sender:(principal t) ~msg ~commits in
-  let fp = Fingerprint.of_string prefix in
-  let auth =
-    Auth.generate t.keychain ~nonce:(next_nonce t) ~targets fp
+  (* Assemble the whole wire in the per-transport scratch buffer: encode
+     the prefix, fingerprint it in place, then append the authenticator —
+     the only string allocated is the final wire. *)
+  let enc = t.scratch in
+  Message.encode_prefix_into enc ~sender:(principal t) ~msg ~commits;
+  let module Enc = Bft_util.Codec.Enc in
+  let fp =
+    Fingerprint.of_bytes (Enc.unsafe_bytes enc) ~off:0 ~len:(Enc.length enc)
   in
+  let auth = Auth.generate t.keychain ~nonce:(next_nonce t) ~targets fp in
   let auth = if t.corrupt_auth then Auth.corrupt auth else auth in
-  let wire = Message.append_auth prefix auth in
+  Auth.encode enc auth;
+  let wire = Enc.to_string enc in
   (wire, String.length wire + Message.padding msg)
 
 let send t ?(commits = []) ~dst msg =
@@ -99,9 +121,54 @@ let multicast t ?(commits = []) ~dsts msg =
   in
   Network.multicast t.net ~src:t.node ~dsts:nodes ~size wire
 
+let nonce_status t ~from nonce =
+  match Hashtbl.find_opt t.windows from with
+  | None -> `Fresh
+  | Some w ->
+    if Int64.compare nonce w.highest > 0 then `Fresh
+    else
+      let age = Int64.to_int (Int64.sub w.highest nonce) in
+      if age >= nonce_window_size then `Stale
+      else if Int64.logand w.bits (Int64.shift_left 1L age) <> 0L then `Seen
+      else `Fresh
+
+let record_nonce t ~from nonce =
+  let w =
+    match Hashtbl.find_opt t.windows from with
+    | Some w -> w
+    | None ->
+      let w = { highest = 0L; bits = 0L } in
+      Hashtbl.replace t.windows from w;
+      w
+  in
+  if Int64.compare nonce w.highest > 0 then begin
+    let shift = Int64.sub nonce w.highest in
+    w.bits <-
+      (if Int64.compare shift (Int64.of_int nonce_window_size) >= 0 then 0L
+       else Int64.shift_left w.bits (Int64.to_int shift));
+    w.bits <- Int64.logor w.bits 1L;
+    w.highest <- nonce
+  end
+  else
+    let age = Int64.to_int (Int64.sub w.highest nonce) in
+    w.bits <- Int64.logor w.bits (Int64.shift_left 1L age)
+
 let check t ~wire ~prefix_len ~size env =
-  charge_recv_crypto t ~size;
-  let fp = Fingerprint.of_string (String.sub wire 0 prefix_len) in
-  (* In pk mode the "signature" is modeled by the same MAC vector; cost is
-     what differs. *)
-  Auth.check t.keychain ~from:env.Message.sender fp env.Message.auth
+  let from = env.Message.sender in
+  let nonce = env.Message.auth.Auth.nonce in
+  match nonce_status t ~from nonce with
+  | `Stale | `Seen ->
+    (* Replay: dropped before any crypto work, and without updating the
+       window — a forged (sender, nonce) pair must not be able to block a
+       legitimate future delivery. *)
+    Replayed
+  | `Fresh ->
+    charge_recv_crypto t ~size;
+    let fp = Fingerprint.of_substring wire ~off:0 ~len:prefix_len in
+    (* In pk mode the "signature" is modeled by the same MAC vector; cost
+       is what differs. *)
+    if Auth.check t.keychain ~from fp env.Message.auth then begin
+      record_nonce t ~from nonce;
+      Accepted
+    end
+    else Rejected

@@ -11,6 +11,12 @@
 
 type peer = { principal : int; node : Bft_net.Network.node_id }
 
+(** Outcome of verifying an incoming wire. [Replayed] means the
+    authenticator nonce was already seen (or fell below the per-sender
+    anti-replay window) — the wire is dropped before any crypto work.
+    [Rejected] means the MAC check itself failed. *)
+type verdict = Accepted | Replayed | Rejected
+
 type t
 
 val create :
@@ -42,9 +48,11 @@ val multicast :
   t -> ?commits:Message.commit list -> dsts:peer list -> Message.t -> unit
 
 (** [check t ~wire ~prefix_len ~size env] verifies the authenticator of a
-    decoded envelope and charges the receive-side crypto costs. *)
+    decoded envelope and charges the receive-side crypto costs. Replayed
+    nonces are dropped without charging (the receiver rejects them on the
+    cheap nonce comparison alone). *)
 val check :
-  t -> wire:string -> prefix_len:int -> size:int -> Message.envelope -> bool
+  t -> wire:string -> prefix_len:int -> size:int -> Message.envelope -> verdict
 
 val set_tamper : t -> (Message.t -> Message.t) option -> unit
 (** Fault injection hook: rewrite messages just before they are

@@ -4,16 +4,49 @@ let size = 16
 
 let of_string = Md5.digest
 
+(* One scratch context per entry point; none of these nest. *)
+let scratch = Md5.init ()
+
+let of_substring s ~off ~len =
+  Md5.reset scratch;
+  Md5.update_sub scratch s off len;
+  Md5.finalize scratch
+
+let of_bytes b ~off ~len =
+  Md5.reset scratch;
+  Md5.update_bytes scratch b off len;
+  Md5.finalize scratch
+
+(* Multi-part digests frame every part with a little-endian 64-bit length,
+   so part boundaries are unambiguous. [builder] exposes the same framing
+   incrementally so hot paths can feed scratch buffers without first
+   materialising part strings. *)
+type builder = { ctx : Md5.ctx; len8 : Bytes.t }
+
+let create_builder () = { ctx = Md5.init (); len8 = Bytes.create 8 }
+
+let reset_builder b = Md5.reset b.ctx
+
+let add_len b len =
+  Bytes.set_int64_le b.len8 0 (Int64.of_int len);
+  Md5.update_bytes b.ctx b.len8 0 8
+
+let add_part b part =
+  add_len b (String.length part);
+  Md5.update b.ctx part
+
+let add_part_bytes b buf ~off ~len =
+  add_len b len;
+  Md5.update_bytes b.ctx buf off len
+
+let finish b = Md5.finalize b.ctx
+
+let parts_builder = create_builder ()
+
 let of_parts parts =
-  let ctx = Md5.init () in
-  let len = Bytes.create 8 in
-  List.iter
-    (fun part ->
-      Bytes.set_int64_le len 0 (Int64.of_int (String.length part));
-      Md5.update ctx (Bytes.to_string len);
-      Md5.update ctx part)
-    parts;
-  Md5.finalize ctx
+  reset_builder parts_builder;
+  List.iter (add_part parts_builder) parts;
+  finish parts_builder
 
 let equal = String.equal
 

@@ -8,8 +8,29 @@ val size : int
 
 val of_string : string -> t
 
+val of_substring : string -> off:int -> len:int -> t
+(** Digest of a slice, without copying it out. *)
+
+val of_bytes : Bytes.t -> off:int -> len:int -> t
+(** Digest of a byte-array slice (e.g. an encoder's scratch buffer). *)
+
 val of_parts : string list -> t
 (** Digest of length-prefixed parts, so part boundaries are unambiguous. *)
+
+(** Incremental form of [of_parts]: the same length-prefix framing, fed
+    part by part. Builders are reusable scratch — [reset_builder], add
+    parts, [finish]. *)
+type builder
+
+val create_builder : unit -> builder
+
+val reset_builder : builder -> unit
+
+val add_part : builder -> string -> unit
+
+val add_part_bytes : builder -> Bytes.t -> off:int -> len:int -> unit
+
+val finish : builder -> t
 
 val equal : t -> t -> bool
 

@@ -7,6 +7,14 @@ let normalise_key key =
 
 let xor_with byte s = String.map (fun c -> Char.chr (Char.code c lxor byte)) s
 
+(* Pre-xored inner/outer pads for a key, so repeated MACs under the same
+   key (the common case: per-pair session keys) skip key normalisation. *)
+type keyed = { ipad : string; opad : string }
+
+let prepare key =
+  let key = normalise_key key in
+  { ipad = xor_with 0x36 key; opad = xor_with 0x5c key }
+
 let mac ~key msg =
   let key = normalise_key key in
   let inner = Md5.digest (xor_with 0x36 key ^ msg) in

@@ -3,5 +3,11 @@
 val mac : key:string -> string -> string
 (** 16-byte binary tag. *)
 
+type keyed = { ipad : string; opad : string }
+(** Pre-xored HMAC pads for one key; feeding [ipad ^ msg] to the inner hash
+    and [opad ^ inner] to the outer one reproduces [mac] exactly. *)
+
+val prepare : string -> keyed
+
 val hex : key:string -> string -> string
 (** Tag rendered as hex, for tests. *)

@@ -6,6 +6,8 @@ type t = {
   replica_bound : int;
   mutable inbound_epoch : int;
   peer_epochs : (principal, int) Hashtbl.t; (* epochs peers announced *)
+  send_cache : (principal, int * string) Hashtbl.t; (* peer -> epoch, key *)
+  recv_cache : (principal, int * string) Hashtbl.t;
 }
 
 let create ~master ~self ?(replica_bound = max_int) () = {
@@ -14,6 +16,8 @@ let create ~master ~self ?(replica_bound = max_int) () = {
   replica_bound;
   inbound_epoch = 0;
   peer_epochs = Hashtbl.create 16;
+  send_cache = Hashtbl.create 16;
+  recv_cache = Hashtbl.create 16;
 }
 
 let self t = t.self_id
@@ -25,12 +29,25 @@ let derive master ~src ~dst ~epoch =
 
 let peer_epoch t peer = Option.value ~default:0 (Hashtbl.find_opt t.peer_epochs peer)
 
+(* Derivation runs a full HMAC, so cache the key per (peer, epoch); the
+   cache entry is invalidated simply by the epoch moving on. *)
+let cached cache peer epoch derive_it =
+  match Hashtbl.find_opt cache peer with
+  | Some (e, key) when e = epoch -> key
+  | _ ->
+    let key = derive_it () in
+    Hashtbl.replace cache peer (epoch, key);
+    key
+
 let send_key t peer =
-  derive t.master ~src:t.self_id ~dst:peer ~epoch:(peer_epoch t peer)
+  let epoch = peer_epoch t peer in
+  cached t.send_cache peer epoch (fun () ->
+      derive t.master ~src:t.self_id ~dst:peer ~epoch)
 
 let recv_key t peer =
   let epoch = if peer < t.replica_bound then t.inbound_epoch else 0 in
-  derive t.master ~src:peer ~dst:t.self_id ~epoch
+  cached t.recv_cache peer epoch (fun () ->
+      derive t.master ~src:peer ~dst:t.self_id ~epoch)
 
 let epoch t ~peer:_ = t.inbound_epoch
 

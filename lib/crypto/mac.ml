@@ -2,10 +2,38 @@ type tag = string
 
 let tag_size = 8
 
+(* MAC keys are long-lived session keys, so the HMAC pads are cached per
+   key and the nonce/context scratch is reused. The tag bytes produced are
+   identical to [Hmac.mac ~key (nonce_le ^ msg)] truncated to [tag_size]. *)
+let keyed_cache : (string, Hmac.keyed) Hashtbl.t = Hashtbl.create 64
+
+let keyed key =
+  match Hashtbl.find_opt keyed_cache key with
+  | Some k -> k
+  | None ->
+    (* Bounded: derived keys are per (pair, epoch), but guard anyway. *)
+    if Hashtbl.length keyed_cache > 4096 then Hashtbl.reset keyed_cache;
+    let k = Hmac.prepare key in
+    Hashtbl.replace keyed_cache key k;
+    k
+
+let nonce_scratch = Bytes.create 8
+
+let ctx_scratch = Md5.init ()
+
 let compute ~key ~nonce msg =
-  let nonce_bytes = Bytes.create 8 in
-  Bytes.set_int64_le nonce_bytes 0 nonce;
-  String.sub (Hmac.mac ~key (Bytes.to_string nonce_bytes ^ msg)) 0 tag_size
+  let k = keyed key in
+  Bytes.set_int64_le nonce_scratch 0 nonce;
+  let ctx = ctx_scratch in
+  Md5.reset ctx;
+  Md5.update ctx k.Hmac.ipad;
+  Md5.update_bytes ctx nonce_scratch 0 8;
+  Md5.update ctx msg;
+  let inner = Md5.finalize ctx in
+  Md5.reset ctx;
+  Md5.update ctx k.Hmac.opad;
+  Md5.update ctx inner;
+  String.sub (Md5.finalize ctx) 0 tag_size
 
 let equal a b =
   (* Constant-time over the common length to avoid timing oracles. *)

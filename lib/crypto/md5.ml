@@ -1,11 +1,15 @@
-(* MD5 per RFC 1321. All word arithmetic is on Int32 with wraparound. *)
+(* MD5 per RFC 1321. Word arithmetic is on native ints masked to 32 bits:
+   on 64-bit platforms this produces bit-identical output to the reference
+   Int32 formulation while avoiding the per-operation Int32 boxing that
+   dominated the hot path (one digest per message sent and received). *)
 
 type ctx = {
-  mutable a : int32;
-  mutable b : int32;
-  mutable c : int32;
-  mutable d : int32;
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
   block : Bytes.t; (* 64-byte staging buffer *)
+  m : int array; (* decoded words of the block being compressed *)
   mutable block_len : int;
   mutable total_len : int64; (* bytes fed so far *)
 }
@@ -21,71 +25,80 @@ let s =
 (* T[i] = floor(2^32 * abs(sin(i+1))) *)
 let t_table =
   [|
-    0xd76aa478l; 0xe8c7b756l; 0x242070dbl; 0xc1bdceeel; 0xf57c0fafl;
-    0x4787c62al; 0xa8304613l; 0xfd469501l; 0x698098d8l; 0x8b44f7afl;
-    0xffff5bb1l; 0x895cd7bel; 0x6b901122l; 0xfd987193l; 0xa679438el;
-    0x49b40821l; 0xf61e2562l; 0xc040b340l; 0x265e5a51l; 0xe9b6c7aal;
-    0xd62f105dl; 0x02441453l; 0xd8a1e681l; 0xe7d3fbc8l; 0x21e1cde6l;
-    0xc33707d6l; 0xf4d50d87l; 0x455a14edl; 0xa9e3e905l; 0xfcefa3f8l;
-    0x676f02d9l; 0x8d2a4c8al; 0xfffa3942l; 0x8771f681l; 0x6d9d6122l;
-    0xfde5380cl; 0xa4beea44l; 0x4bdecfa9l; 0xf6bb4b60l; 0xbebfbc70l;
-    0x289b7ec6l; 0xeaa127fal; 0xd4ef3085l; 0x04881d05l; 0xd9d4d039l;
-    0xe6db99e5l; 0x1fa27cf8l; 0xc4ac5665l; 0xf4292244l; 0x432aff97l;
-    0xab9423a7l; 0xfc93a039l; 0x655b59c3l; 0x8f0ccc92l; 0xffeff47dl;
-    0x85845dd1l; 0x6fa87e4fl; 0xfe2ce6e0l; 0xa3014314l; 0x4e0811a1l;
-    0xf7537e82l; 0xbd3af235l; 0x2ad7d2bbl; 0xeb86d391l;
+    0xd76aa478; 0xe8c7b756; 0x242070db; 0xc1bdceee; 0xf57c0faf;
+    0x4787c62a; 0xa8304613; 0xfd469501; 0x698098d8; 0x8b44f7af;
+    0xffff5bb1; 0x895cd7be; 0x6b901122; 0xfd987193; 0xa679438e;
+    0x49b40821; 0xf61e2562; 0xc040b340; 0x265e5a51; 0xe9b6c7aa;
+    0xd62f105d; 0x02441453; 0xd8a1e681; 0xe7d3fbc8; 0x21e1cde6;
+    0xc33707d6; 0xf4d50d87; 0x455a14ed; 0xa9e3e905; 0xfcefa3f8;
+    0x676f02d9; 0x8d2a4c8a; 0xfffa3942; 0x8771f681; 0x6d9d6122;
+    0xfde5380c; 0xa4beea44; 0x4bdecfa9; 0xf6bb4b60; 0xbebfbc70;
+    0x289b7ec6; 0xeaa127fa; 0xd4ef3085; 0x04881d05; 0xd9d4d039;
+    0xe6db99e5; 0x1fa27cf8; 0xc4ac5665; 0xf4292244; 0x432aff97;
+    0xab9423a7; 0xfc93a039; 0x655b59c3; 0x8f0ccc92; 0xffeff47d;
+    0x85845dd1; 0x6fa87e4f; 0xfe2ce6e0; 0xa3014314; 0x4e0811a1;
+    0xf7537e82; 0xbd3af235; 0x2ad7d2bb; 0xeb86d391;
   |]
+
+let mask = 0xFFFFFFFF
 
 let init () =
   {
-    a = 0x67452301l;
-    b = 0xefcdab89l;
-    c = 0x98badcfel;
-    d = 0x10325476l;
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
     block = Bytes.create 64;
+    m = Array.make 16 0;
     block_len = 0;
     total_len = 0L;
   }
 
-let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let reset ctx =
+  ctx.a <- 0x67452301;
+  ctx.b <- 0xefcdab89;
+  ctx.c <- 0x98badcfe;
+  ctx.d <- 0x10325476;
+  ctx.block_len <- 0;
+  ctx.total_len <- 0L
+
+let[@inline] rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask
 
 let process_block ctx block off =
-  let m = Array.make 16 0l in
+  let m = ctx.m in
   for i = 0 to 15 do
-    m.(i) <- Bytes.get_int32_le block (off + (4 * i))
+    m.(i) <- Int32.to_int (Bytes.get_int32_le block (off + (4 * i))) land mask
   done;
   let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
   for i = 0 to 63 do
     let f, g =
-      if i < 16 then
-        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
+      if i < 16 then ((!b land !c) lor (lnot !b land !d) land mask, i)
       else if i < 32 then
-        (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c),
-         ((5 * i) + 1) mod 16)
-      else if i < 48 then (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
-      else (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), (7 * i) mod 16)
+        ((!d land !b) lor (lnot !d land !c) land mask, ((5 * i) + 1) mod 16)
+      else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+      else (!c lxor (!b lor (lnot !d land mask)), (7 * i) mod 16)
     in
     let tmp = !d in
     d := !c;
     c := !b;
-    let sum = Int32.add (Int32.add !a f) (Int32.add t_table.(i) m.(g)) in
-    b := Int32.add !b (rotl32 sum s.(i));
+    let sum = (!a + f + t_table.(i) + m.(g)) land mask in
+    b := (!b + rotl32 sum s.(i)) land mask;
     a := tmp
   done;
-  ctx.a <- Int32.add ctx.a !a;
-  ctx.b <- Int32.add ctx.b !b;
-  ctx.c <- Int32.add ctx.c !c;
-  ctx.d <- Int32.add ctx.d !d
+  ctx.a <- (ctx.a + !a) land mask;
+  ctx.b <- (ctx.b + !b) land mask;
+  ctx.c <- (ctx.c + !c) land mask;
+  ctx.d <- (ctx.d + !d) land mask
 
-let update_sub ctx src off len =
-  if off < 0 || len < 0 || off + len > String.length src then
-    invalid_arg "Md5.update_sub";
+let update_bytes ctx src off len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Md5.update_bytes";
   ctx.total_len <- Int64.add ctx.total_len (Int64.of_int len);
   let pos = ref off and remaining = ref len in
   (* Fill a partial staged block first. *)
   if ctx.block_len > 0 then begin
     let take = Stdlib.min !remaining (64 - ctx.block_len) in
-    Bytes.blit_string src !pos ctx.block ctx.block_len take;
+    Bytes.blit src !pos ctx.block ctx.block_len take;
     ctx.block_len <- ctx.block_len + take;
     pos := !pos + take;
     remaining := !remaining - take;
@@ -94,47 +107,57 @@ let update_sub ctx src off len =
       ctx.block_len <- 0
     end
   end;
-  (* Whole blocks straight from the input. *)
+  (* Whole blocks straight from the input, no staging copy. *)
   while !remaining >= 64 do
-    Bytes.blit_string src !pos ctx.block 0 64;
-    process_block ctx ctx.block 0;
+    process_block ctx src !pos;
     pos := !pos + 64;
     remaining := !remaining - 64
   done;
   if !remaining > 0 then begin
-    Bytes.blit_string src !pos ctx.block 0 !remaining;
+    Bytes.blit src !pos ctx.block 0 !remaining;
     ctx.block_len <- !remaining
   end
 
+let update_sub ctx src off len =
+  if off < 0 || len < 0 || off + len > String.length src then
+    invalid_arg "Md5.update_sub";
+  (* Reading through [unsafe_of_string] is safe: [update_bytes] never
+     writes to [src]. *)
+  update_bytes ctx (Bytes.unsafe_of_string src) off len
+
 let update ctx s = update_sub ctx s 0 (String.length s)
+
+(* 0x80 then zeros; finalize feeds the prefix of this that pads the
+   message to 56 mod 64 bytes. *)
+let padding = String.init 64 (fun i -> if i = 0 then '\x80' else '\000')
 
 let finalize ctx =
   let bit_len = Int64.mul ctx.total_len 8L in
-  (* Padding: 0x80 then zeros to 56 mod 64, then the 64-bit length. *)
   let pad_len =
     let r = Int64.to_int (Int64.rem ctx.total_len 64L) in
     if r < 56 then 56 - r else 120 - r
   in
-  let pad = Bytes.make pad_len '\000' in
-  Bytes.set pad 0 '\x80';
-  update ctx (Bytes.to_string pad);
-  let len_bytes = Bytes.create 8 in
-  Bytes.set_int64_le len_bytes 0 bit_len;
-  (* total_len is now stale but the context is dead after finalize *)
-  ctx.total_len <- Int64.sub ctx.total_len 8L;
-  update ctx (Bytes.to_string len_bytes);
-  assert (ctx.block_len = 0);
+  update_sub ctx padding 0 pad_len;
+  (* The staged block now holds exactly 56 bytes; append the 64-bit bit
+     length in place and compress the final block. *)
+  Bytes.set_int64_le ctx.block 56 bit_len;
+  process_block ctx ctx.block 0;
+  ctx.block_len <- 0;
   let out = Bytes.create 16 in
-  Bytes.set_int32_le out 0 ctx.a;
-  Bytes.set_int32_le out 4 ctx.b;
-  Bytes.set_int32_le out 8 ctx.c;
-  Bytes.set_int32_le out 12 ctx.d;
-  Bytes.to_string out
+  Bytes.set_int32_le out 0 (Int32.of_int ctx.a);
+  Bytes.set_int32_le out 4 (Int32.of_int ctx.b);
+  Bytes.set_int32_le out 8 (Int32.of_int ctx.c);
+  Bytes.set_int32_le out 12 (Int32.of_int ctx.d);
+  Bytes.unsafe_to_string out
+
+(* One-shot digests reuse a single scratch context; nothing in the body
+   can re-enter [digest]. *)
+let digest_ctx = init ()
 
 let digest s =
-  let ctx = init () in
-  update ctx s;
-  finalize ctx
+  reset digest_ctx;
+  update digest_ctx s;
+  finalize digest_ctx
 
 let to_hex s =
   let buf = Buffer.create (2 * String.length s) in

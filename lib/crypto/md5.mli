@@ -8,13 +8,22 @@ type ctx
 
 val init : unit -> ctx
 
+val reset : ctx -> unit
+(** Return a context to its initial state so it can be reused; hot paths
+    keep one scratch context instead of allocating per digest. *)
+
 val update : ctx -> string -> unit
 
 val update_sub : ctx -> string -> int -> int -> unit
 (** [update_sub ctx s off len] feeds a substring without copying it out. *)
 
+val update_bytes : ctx -> Bytes.t -> int -> int -> unit
+(** [update_bytes ctx b off len] feeds a byte-array slice without copying
+    it into an intermediate string. *)
+
 val finalize : ctx -> string
-(** 16-byte binary digest. The context must not be reused afterwards. *)
+(** 16-byte binary digest. The context must not be reused afterwards
+    unless [reset]. *)
 
 val digest : string -> string
 (** One-shot 16-byte binary digest. *)

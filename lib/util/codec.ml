@@ -3,23 +3,53 @@ exception Decode_error of string
 let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
 
 module Enc = struct
-  type t = Buffer.t
+  (* A growable byte array rather than [Buffer.t]: encoders on the hot path
+     are long-lived scratch values that get [clear]ed and refilled for every
+     message, and readers ([Fingerprint.of_bytes], [Transport]) can consume
+     the filled prefix in place via [unsafe_bytes] without materialising an
+     intermediate string. The wire bytes produced are identical to the
+     historical [Buffer]-based encoder. *)
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create ?(initial = 64) () = Buffer.create initial
+  let create ?(initial = 64) () =
+    { buf = Bytes.create (max initial 16); len = 0 }
+
+  let clear t = t.len <- 0
+
+  let reserve t extra =
+    let needed = t.len + extra in
+    if needed > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf * 2) in
+      while !cap < needed do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
 
   let u8 t v =
     if v < 0 || v > 0xFF then invalid_arg "Enc.u8";
-    Buffer.add_char t (Char.chr v)
+    reserve t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr v);
+    t.len <- t.len + 1
 
   let u16 t v =
     if v < 0 || v > 0xFFFF then invalid_arg "Enc.u16";
-    Buffer.add_uint16_le t v
+    reserve t 2;
+    Bytes.set_uint16_le t.buf t.len v;
+    t.len <- t.len + 2
 
   let u32 t v =
     if v < 0 || v > 0xFFFFFFFF then invalid_arg "Enc.u32";
-    Buffer.add_int32_le t (Int32.of_int v)
+    reserve t 4;
+    Bytes.set_int32_le t.buf t.len (Int32.of_int v);
+    t.len <- t.len + 4
 
-  let u64 t v = Buffer.add_int64_le t v
+  let u64 t v =
+    reserve t 8;
+    Bytes.set_int64_le t.buf t.len v;
+    t.len <- t.len + 8
 
   let int t v =
     if v < 0 then invalid_arg "Enc.int: negative";
@@ -27,11 +57,15 @@ module Enc = struct
 
   let f64 t v = u64 t (Int64.bits_of_float v)
 
+  let raw t s =
+    let n = String.length s in
+    reserve t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
   let bytes t s =
     u32 t (String.length s);
-    Buffer.add_string t s
-
-  let raw t s = Buffer.add_string t s
+    raw t s
 
   let bool t b = u8 t (if b then 1 else 0)
 
@@ -45,9 +79,11 @@ module Enc = struct
     u32 t (List.length l);
     List.iter (f t) l
 
-  let to_string = Buffer.contents
+  let to_string t = Bytes.sub_string t.buf 0 t.len
 
-  let length = Buffer.length
+  let length t = t.len
+
+  let unsafe_bytes t = t.buf
 end
 
 module Dec = struct

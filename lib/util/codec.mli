@@ -12,6 +12,10 @@ module Enc : sig
 
   val create : ?initial:int -> unit -> t
 
+  val clear : t -> unit
+  (** Reset to length 0 without releasing the backing storage. Encoders on
+      the hot path are kept as long-lived scratch and cleared per message. *)
+
   val u8 : t -> int -> unit
   val u16 : t -> int -> unit
   val u32 : t -> int -> unit
@@ -33,6 +37,11 @@ module Enc : sig
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   val to_string : t -> string
   val length : t -> int
+
+  val unsafe_bytes : t -> Bytes.t
+  (** The backing storage; only the first [length t] bytes are meaningful.
+      Invalidated by any subsequent append (the buffer may be reallocated)
+      — read before appending more. *)
 end
 
 module Dec : sig

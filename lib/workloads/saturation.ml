@@ -1,0 +1,181 @@
+(* The saturation bench suite: the paper's 0/0, 4/0, 0/4 micro-operations
+   plus a batched-throughput curve driven to saturation, reported on two
+   clocks at once. Virtual-time results (latencies and ops/s on the
+   simulated clock) are paper-comparable and must be byte-identical for a
+   fixed seed across hosts and hot-path refactors — they are the golden
+   regression surface. Wall-clock numbers (how many simulated requests the
+   simulator itself retires per real second) measure the simulator's hot
+   path and are what the perf trajectory in BENCH_micro.json tracks. *)
+
+type micro = {
+  mi_label : string;
+  mi_arg : int;
+  mi_res : int;
+  mi_mean_us : float;
+  mi_stddev_us : float;
+  mi_ops : int;
+  mi_wall_s : float;
+}
+
+type point = {
+  pt_clients : int;
+  pt_ops_per_sec : float;
+  pt_completed : int;
+  pt_retransmissions : int;
+  pt_wall_s : float;
+  pt_sim_rps : float;
+}
+
+type t = {
+  seed : int;
+  quick : bool;
+  micro : micro list;
+  curve : point list;
+}
+
+let micro_shapes = [ ("0/0", 0, 0); ("4/0", 4096, 0); ("0/4", 0, 4096) ]
+
+let curve_clients ~quick =
+  if quick then [ 1; 4; 12; 24 ] else [ 1; 2; 4; 8; 16; 24; 32; 48; 64 ]
+
+let run ?(quick = false) ?(seed = 42) () =
+  let ops = if quick then 60 else 200 in
+  let micro =
+    List.map
+      (fun (label, arg, res) ->
+        let t0 = Unix.gettimeofday () in
+        let r = Microbench.bft_latency ~ops ~seed ~arg ~res ~read_only:false () in
+        {
+          mi_label = label;
+          mi_arg = arg;
+          mi_res = res;
+          mi_mean_us = r.Microbench.mean *. 1e6;
+          mi_stddev_us = r.Microbench.stddev *. 1e6;
+          mi_ops = r.Microbench.ops;
+          mi_wall_s = Unix.gettimeofday () -. t0;
+        })
+      micro_shapes
+  in
+  let window = if quick then 0.4 else 1.0 in
+  let curve =
+    List.map
+      (fun clients ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Microbench.bft_throughput ~seed ~window ~arg:0 ~res:0 ~read_only:false
+            ~clients ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        {
+          pt_clients = clients;
+          pt_ops_per_sec = r.Microbench.ops_per_sec;
+          pt_completed = r.Microbench.completed;
+          pt_retransmissions = r.Microbench.retransmissions;
+          pt_wall_s = wall;
+          (* Requests retired per real second over the whole run (warmup
+             included): the simulator hot-path metric. *)
+          pt_sim_rps = (if wall > 0.0 then float_of_int r.Microbench.completed /. wall else 0.0);
+        })
+      (curve_clients ~quick)
+  in
+  { seed; quick; micro; curve }
+
+let peak t =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Some best when best.pt_ops_per_sec >= p.pt_ops_per_sec -> acc
+      | _ -> Some p)
+    None t.curve
+
+(* Aggregate wall-clock throughput of the batched saturation curve: total
+   simulated requests retired over total real seconds. This is the number
+   the >=25%-improvement acceptance gate compares across trees. *)
+let batched_sim_rps t =
+  let completed, wall =
+    List.fold_left
+      (fun (c, w) p -> (c + p.pt_completed, w +. p.pt_wall_s))
+      (0, 0.0) t.curve
+  in
+  if wall > 0.0 then float_of_int completed /. wall else 0.0
+
+(* Hand-rolled JSON: stable field order and fixed float formats, because
+   the virtual part is compared byte-for-byte against a golden file. *)
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let micro_virtual_fields buf m =
+  buf_addf buf
+    "\"label\":%S,\"arg\":%d,\"res\":%d,\"mean_us\":%.3f,\"stddev_us\":%.3f,\"ops\":%d"
+    m.mi_label m.mi_arg m.mi_res m.mi_mean_us m.mi_stddev_us m.mi_ops
+
+let point_virtual_fields buf p =
+  buf_addf buf
+    "\"clients\":%d,\"ops_per_sec\":%.1f,\"completed\":%d,\"retransmissions\":%d"
+    p.pt_clients p.pt_ops_per_sec p.pt_completed p.pt_retransmissions
+
+let json_list buf items emit =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '{';
+      emit buf item;
+      Buffer.add_char buf '}')
+    items;
+  Buffer.add_char buf ']'
+
+let virtual_json t =
+  let buf = Buffer.create 1024 in
+  buf_addf buf "{\"schema\":\"bft-lab/bench-virtual/v1\",\"seed\":%d,\"quick\":%b,"
+    t.seed t.quick;
+  Buffer.add_string buf "\"micro\":";
+  json_list buf t.micro micro_virtual_fields;
+  Buffer.add_string buf ",\"saturation\":";
+  json_list buf t.curve point_virtual_fields;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 2048 in
+  buf_addf buf "{\"schema\":\"bft-lab/bench-micro/v1\",\"seed\":%d,\"quick\":%b,"
+    t.seed t.quick;
+  Buffer.add_string buf "\"micro\":";
+  json_list buf t.micro (fun buf m ->
+      micro_virtual_fields buf m;
+      buf_addf buf ",\"wall_s\":%.3f" m.mi_wall_s);
+  Buffer.add_string buf ",\"saturation\":";
+  json_list buf t.curve (fun buf p ->
+      point_virtual_fields buf p;
+      buf_addf buf ",\"wall_s\":%.3f,\"sim_rps\":%.0f" p.pt_wall_s p.pt_sim_rps);
+  (match peak t with
+  | Some p ->
+    buf_addf buf ",\"peak\":{\"clients\":%d,\"ops_per_sec\":%.1f}" p.pt_clients
+      p.pt_ops_per_sec
+  | None -> ());
+  buf_addf buf ",\"batched_sim_rps\":%.0f}\n" (batched_sim_rps t);
+  Buffer.contents buf
+
+let print t =
+  Printf.printf "micro-ops (seed %d%s):\n" t.seed
+    (if t.quick then ", quick" else "");
+  List.iter
+    (fun m ->
+      Printf.printf "  %-4s %8.1f us (+/- %.1f, %d ops)  [%.2fs wall]\n"
+        m.mi_label m.mi_mean_us m.mi_stddev_us m.mi_ops m.mi_wall_s)
+    t.micro;
+  Printf.printf "batched throughput saturation (0/0):\n";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  %3d clients: %8.1f ops/s virtual  (%5d completed, %d retrans)  \
+         %8.0f sim-req/s wall\n"
+        p.pt_clients p.pt_ops_per_sec p.pt_completed p.pt_retransmissions
+        p.pt_sim_rps)
+    t.curve;
+  (match peak t with
+  | Some p ->
+    Printf.printf "peak: %.1f ops/s virtual at %d clients\n" p.pt_ops_per_sec
+      p.pt_clients
+  | None -> ());
+  Printf.printf "batched wall-clock throughput: %.0f simulated requests/s\n"
+    (batched_sim_rps t)

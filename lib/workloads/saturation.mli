@@ -1,0 +1,53 @@
+(** Saturation bench suite: the 0/0, 4/0, 0/4 micro-operations and a
+    batched-throughput curve driven to saturation, measured on two clocks.
+
+    Virtual-time results (simulated-clock latency and ops/s) are
+    deterministic for a fixed seed — byte-identical across hosts and
+    refactors — and serve as the golden regression surface. Wall-clock
+    results (simulated requests retired per real second) measure the
+    simulator's own hot path and feed the perf trajectory recorded in
+    [BENCH_micro.json]. *)
+
+type micro = {
+  mi_label : string;
+  mi_arg : int;
+  mi_res : int;
+  mi_mean_us : float;  (** virtual time *)
+  mi_stddev_us : float;  (** virtual time *)
+  mi_ops : int;
+  mi_wall_s : float;  (** wall clock *)
+}
+
+type point = {
+  pt_clients : int;
+  pt_ops_per_sec : float;  (** virtual time *)
+  pt_completed : int;
+  pt_retransmissions : int;
+  pt_wall_s : float;  (** wall clock *)
+  pt_sim_rps : float;  (** completed / wall seconds *)
+}
+
+type t = {
+  seed : int;
+  quick : bool;
+  micro : micro list;
+  curve : point list;
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> t
+
+val peak : t -> point option
+(** Curve point with the highest virtual throughput. *)
+
+val batched_sim_rps : t -> float
+(** Total simulated requests retired per real second across the whole
+    curve — the metric the perf-improvement gate compares across trees. *)
+
+val virtual_json : t -> string
+(** Only the virtual-time fields, in a stable byte-exact format — what CI
+    compares against the checked-in golden file. *)
+
+val to_json : t -> string
+(** Full result including wall-clock fields ([BENCH_micro.json]). *)
+
+val print : t -> unit

@@ -197,8 +197,8 @@ let make_trig () =
     (fun i transport ->
       let dispatcher = Dispatcher.install net (Transport.node transport) in
       Dispatcher.register_default dispatcher (fun ~wire ~prefix_len ~size env ->
-          if Transport.check transport ~wire ~prefix_len ~size env then
-            received := (i, env) :: !received))
+          if Transport.check transport ~wire ~prefix_len ~size env = Transport.Accepted
+          then received := (i, env) :: !received))
     transports;
   { engine; net; transports; received }
 
@@ -258,6 +258,198 @@ let test_transport_charges_cpu () =
        });
   check Alcotest.bool "digest cost charged" true
     (Cpu.total_busy cpu -. before > 0.0005)
+
+let verdict_t =
+  Alcotest.testable
+    (fun ppf v ->
+      Format.pp_print_string ppf
+        (match v with
+        | Transport.Accepted -> "Accepted"
+        | Transport.Replayed -> "Replayed"
+        | Transport.Rejected -> "Rejected"))
+    ( = )
+
+let test_transport_nonce_window () =
+  let r = make_trig () in
+  (* A fresh keychain with the sender's identity derives the same pairwise
+     keys, letting us hand-roll datagrams with chosen nonces. *)
+  let kc0 = Keychain.create ~master:"m" ~self:0 () in
+  let deliver ?(corrupt = false) nonce =
+    let prefix = Message.encode_prefix ~sender:0 ~msg:sample_msg ~commits:[] in
+    let auth =
+      Bft_crypto.Auth.generate kc0 ~nonce ~targets:[ 1 ]
+        (Fingerprint.of_string prefix)
+    in
+    let auth = if corrupt then Bft_crypto.Auth.corrupt auth else auth in
+    let wire = Message.append_auth prefix auth in
+    let env, prefix_len = Message.decode_envelope_ex wire in
+    Transport.check r.transports.(1) ~wire ~prefix_len
+      ~size:(String.length wire) env
+  in
+  check verdict_t "first delivery accepted" Transport.Accepted (deliver 5L);
+  check verdict_t "exact replay dropped" Transport.Replayed (deliver 5L);
+  check verdict_t "older unseen nonce still accepted" Transport.Accepted
+    (deliver 4L);
+  check verdict_t "older nonce replay dropped" Transport.Replayed (deliver 4L);
+  (* A corrupted MAC must not advance the window: the nonce it carried
+     remains usable by the legitimate sender. *)
+  check verdict_t "bad MAC rejected" Transport.Rejected
+    (deliver ~corrupt:true 6L);
+  check verdict_t "same nonce valid after forged attempt" Transport.Accepted
+    (deliver 6L);
+  (* Sliding: advancing far ahead expires everything behind the window. *)
+  check verdict_t "jump ahead accepted" Transport.Accepted (deliver 100L);
+  check verdict_t "below window is stale" Transport.Replayed (deliver 36L);
+  check verdict_t "oldest in-window nonce accepted" Transport.Accepted
+    (deliver 37L)
+
+(* --- client reply quorums ------------------------------------------------- *)
+
+(* A real client wired to fake replica transports, so tests can race
+   hand-crafted tentative and committed replies against each other. *)
+type crig = {
+  c_engine : Engine.t;
+  c_replicas : Transport.t array;
+  c_client : Client.t;
+  c_client_peer : Transport.peer;
+  c_request_ts : int64 ref;
+}
+
+let make_crig () =
+  let engine = Engine.create () in
+  let net =
+    Network.create engine Bft_sim.Calibration.default
+      ~rng:(Bft_util.Rng.of_int 7)
+  in
+  let config = Config.make ~f:1 () in
+  let n = config.Config.n in
+  let master = "race-master" in
+  let replica_nodes =
+    Array.init n (fun i ->
+        let cpu = Cpu.create engine ~name:(Printf.sprintf "r%d" i) () in
+        Network.add_node net ~cpu ~name:(Printf.sprintf "r%d" i) ())
+  in
+  let replica_peers =
+    Array.init n (fun i ->
+        { Transport.principal = i; node = replica_nodes.(i) })
+  in
+  let replica_transports =
+    Array.init n (fun i ->
+        let keychain = Keychain.create ~master ~self:i ~replica_bound:n () in
+        Transport.create net ~keychain ~node:replica_nodes.(i) ())
+  in
+  let request_ts = ref 0L in
+  Array.iteri
+    (fun i transport ->
+      let dispatcher = Dispatcher.install net replica_nodes.(i) in
+      Dispatcher.register_default dispatcher (fun ~wire ~prefix_len ~size env ->
+          if
+            Transport.check transport ~wire ~prefix_len ~size env
+            = Transport.Accepted
+          then
+            match env.Message.msg with
+            | Message.Request r -> request_ts := r.Message.timestamp
+            | _ -> ()))
+    replica_transports;
+  let cpu = Cpu.create engine ~name:"client" () in
+  let cnode = Network.add_node net ~cpu ~name:"client" () in
+  let keychain = Keychain.create ~master ~self:n ~replica_bound:n () in
+  let transport = Transport.create net ~keychain ~node:cnode () in
+  let dispatcher = Dispatcher.install net cnode in
+  let client =
+    Client.create ~config ~transport ~replicas:replica_peers
+      ~rng:(Bft_util.Rng.of_int 9) ~dispatcher ()
+  in
+  {
+    c_engine = engine;
+    c_replicas = replica_transports;
+    c_client = client;
+    c_client_peer = { Transport.principal = n; node = cnode };
+    c_request_ts = request_ts;
+  }
+
+(* Bounded run, well under the client retry timeout, so crafted replies are
+   delivered without the client's retransmission timer firing. *)
+let cstep rig =
+  Engine.run ~until:(Engine.now rig.c_engine +. 0.005) rig.c_engine
+
+let send_reply rig ~replica ~tentative body =
+  Transport.send rig.c_replicas.(replica) ~dst:rig.c_client_peer
+    (Message.Reply
+       {
+         Message.view = 0;
+         timestamp = !(rig.c_request_ts);
+         client = Client.id rig.c_client;
+         replica;
+         tentative;
+         epoch = 0;
+         body;
+       })
+
+let test_client_committed_beats_corrupt_tentative () =
+  let rig = make_crig () in
+  let got = ref None in
+  Client.invoke rig.c_client (Payload.of_string "op") (fun o -> got := Some o);
+  cstep rig;
+  check Alcotest.bool "request reached replicas" true
+    (!(rig.c_request_ts) <> 0L);
+  let winner = Payload.of_string "winner" and bogus = Payload.of_string "bogus" in
+  (* A faulty replica races a corrupt tentative full reply in first. *)
+  send_reply rig ~replica:3 ~tentative:true (Message.Full_result bogus);
+  cstep rig;
+  check Alcotest.bool "one tentative is not a quorum" true (!got = None);
+  send_reply rig ~replica:0 ~tentative:false (Message.Full_result winner);
+  cstep rig;
+  check Alcotest.bool "one committed is not a quorum" true (!got = None);
+  send_reply rig ~replica:1 ~tentative:false (Message.Full_result winner);
+  cstep rig;
+  match !got with
+  | Some o ->
+    check Alcotest.string "committed result wins, not the corrupt tentative"
+      "winner" o.Client.result.Payload.data
+  | None -> Alcotest.fail "f+1 committed replies should complete the op"
+
+let test_client_tentative_upgrade_to_committed () =
+  let rig = make_crig () in
+  let got = ref None in
+  Client.invoke rig.c_client (Payload.of_string "op") (fun o -> got := Some o);
+  cstep rig;
+  let winner = Payload.of_string "winner" in
+  let digest = Payload.digest winner in
+  send_reply rig ~replica:2 ~tentative:true (Message.Full_result winner);
+  send_reply rig ~replica:1 ~tentative:true (Message.Result_digest digest);
+  cstep rig;
+  check Alcotest.bool "two tentative replies are not enough" true (!got = None);
+  (* The same replicas commit: each reply upgrades in place rather than
+     double-counting, so the tally is 2 committed out of 2 total. *)
+  send_reply rig ~replica:2 ~tentative:false (Message.Full_result winner);
+  cstep rig;
+  check Alcotest.bool "one committed is not enough" true (!got = None);
+  send_reply rig ~replica:1 ~tentative:false (Message.Result_digest digest);
+  cstep rig;
+  match !got with
+  | Some o ->
+    check Alcotest.string "full body from the upgraded replica" "winner"
+      o.Client.result.Payload.data
+  | None -> Alcotest.fail "f+1 committed replies should complete the op"
+
+let test_client_tentative_strong_quorum () =
+  let rig = make_crig () in
+  let got = ref None in
+  Client.invoke rig.c_client (Payload.of_string "op") (fun o -> got := Some o);
+  cstep rig;
+  let winner = Payload.of_string "winner" in
+  send_reply rig ~replica:1 ~tentative:true (Message.Full_result winner);
+  send_reply rig ~replica:2 ~tentative:true (Message.Result_digest (Payload.digest winner));
+  cstep rig;
+  check Alcotest.bool "2f tentative replies are not enough" true (!got = None);
+  send_reply rig ~replica:3 ~tentative:true (Message.Result_digest (Payload.digest winner));
+  cstep rig;
+  match !got with
+  | Some o ->
+    check Alcotest.string "2f+1 tentative replies accept" "winner"
+      o.Client.result.Payload.data
+  | None -> Alcotest.fail "2f+1 tentative replies should complete the op"
 
 (* --- dispatcher ------------------------------------------------------------ *)
 
@@ -370,6 +562,17 @@ let () =
             test_transport_corrupt_auth_rejected;
           Alcotest.test_case "tamper hook" `Quick test_transport_tamper_hook;
           Alcotest.test_case "charges cpu" `Quick test_transport_charges_cpu;
+          Alcotest.test_case "nonce window drops replays" `Quick
+            test_transport_nonce_window;
+        ] );
+      ( "client quorums",
+        [
+          Alcotest.test_case "committed beats corrupt tentative" `Quick
+            test_client_committed_beats_corrupt_tentative;
+          Alcotest.test_case "tentative upgrades to committed" `Quick
+            test_client_tentative_upgrade_to_committed;
+          Alcotest.test_case "tentative strong quorum" `Quick
+            test_client_tentative_strong_quorum;
         ] );
       ( "dispatcher",
         [ Alcotest.test_case "routing" `Quick test_dispatcher_routes_replies ] );

@@ -186,6 +186,33 @@ let test_auth_wire_roundtrip () =
   let decoded = Auth.decode (Bft_util.Codec.Dec.of_string encoded) in
   check Alcotest.bool "still verifies" true (Auth.check chains.(0) ~from:2 "m" decoded)
 
+let test_auth_wire_size_all_entry_counts () =
+  (* The modeled network cost must never drift from the codec: for every
+     entry count, [wire_size] equals the length of the encoded bytes. *)
+  let n = 8 in
+  let chains = make_chains n in
+  for k = 1 to n - 1 do
+    let targets = List.init k (fun i -> i + 1) in
+    let auth =
+      Auth.generate chains.(0) ~nonce:(Int64.of_int (100 + k)) ~targets "msg"
+    in
+    let enc = Bft_util.Codec.Enc.create () in
+    Auth.encode enc auth;
+    let encoded = Bft_util.Codec.Enc.to_string enc in
+    check Alcotest.int
+      (Printf.sprintf "wire size with %d entries" k)
+      (Auth.wire_size auth)
+      (String.length encoded);
+    let decoded = Auth.decode (Bft_util.Codec.Dec.of_string encoded) in
+    List.iter
+      (fun target ->
+        check Alcotest.bool
+          (Printf.sprintf "entry %d/%d verifies" target k)
+          true
+          (Auth.check chains.(target) ~from:0 "msg" decoded))
+      targets
+  done
+
 (* --- fingerprints --------------------------------------------------------- *)
 
 let test_fingerprint_parts_unambiguous () =
@@ -193,6 +220,28 @@ let test_fingerprint_parts_unambiguous () =
   check Alcotest.bool "no concat collision" true
     (not (Fingerprint.equal (Fingerprint.of_parts [ "ab"; "c" ])
             (Fingerprint.of_parts [ "a"; "bc" ])))
+
+let test_fingerprint_slices_and_builder () =
+  (* The allocation-lean entry points must agree with the string ones. *)
+  let s = "the quick brown fox jumps over the lazy dog" in
+  check Alcotest.bool "of_substring = of_string" true
+    (Fingerprint.equal
+       (Fingerprint.of_substring s ~off:4 ~len:11)
+       (Fingerprint.of_string (String.sub s 4 11)));
+  check Alcotest.bool "of_bytes = of_string" true
+    (Fingerprint.equal
+       (Fingerprint.of_bytes (Bytes.of_string s) ~off:0 ~len:(String.length s))
+       (Fingerprint.of_string s));
+  let parts = [ "alpha"; ""; "beta-gamma" ] in
+  let b = Fingerprint.create_builder () in
+  List.iter (fun p -> Fingerprint.add_part b p) parts;
+  check Alcotest.bool "builder = of_parts" true
+    (Fingerprint.equal (Fingerprint.finish b) (Fingerprint.of_parts parts));
+  (* The builder is reusable after reset. *)
+  Fingerprint.reset_builder b;
+  Fingerprint.add_part_bytes b (Bytes.of_string "padded-part") ~off:0 ~len:6;
+  check Alcotest.bool "reset builder = of_parts" true
+    (Fingerprint.equal (Fingerprint.finish b) (Fingerprint.of_parts [ "padded" ]))
 
 let test_fingerprint_basic () =
   check Alcotest.int "size" 16 (String.length (Fingerprint.of_string "x"));
@@ -245,11 +294,15 @@ let () =
           Alcotest.test_case "corrupt helper invalidates" `Quick test_auth_corrupt;
           Alcotest.test_case "wire roundtrip and size" `Quick
             test_auth_wire_roundtrip;
+          Alcotest.test_case "wire size for 1..n entries" `Quick
+            test_auth_wire_size_all_entry_counts;
         ] );
       ( "fingerprint",
         [
           Alcotest.test_case "parts unambiguous" `Quick
             test_fingerprint_parts_unambiguous;
           Alcotest.test_case "basics" `Quick test_fingerprint_basic;
+          Alcotest.test_case "slices and builder" `Quick
+            test_fingerprint_slices_and_builder;
         ] );
     ]
