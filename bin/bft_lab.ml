@@ -14,6 +14,35 @@ let quick_arg =
   let doc = "Shrink sweep grids for a fast smoke run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+(* Shared tracing flags: every subcommand that can emit a protocol trace
+   takes the same --trace-out/--trace-cap pair. *)
+let trace_out_arg ?default ?(extra_names = []) () =
+  let doc = "Write the protocol trace of the run as JSONL to $(docv)." in
+  Arg.(
+    value
+    & opt (some string) default
+    & info (("trace-out" :: extra_names)) ~doc ~docv:"FILE")
+
+let trace_cap_arg =
+  let doc = "Trace ring capacity in events; the newest $(docv) are kept." in
+  Arg.(value & opt int (1 lsl 20) & info [ "trace-cap" ] ~doc ~docv:"N")
+
+let write_file path contents =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "bft_lab: cannot write %s: %s\n" path msg;
+      exit 1
+  in
+  output_string oc contents;
+  close_out oc
+
+let dump_trace trace path =
+  let module Trace = Bft_trace.Trace in
+  write_file path (Trace.jsonl trace);
+  Printf.printf "wrote %d events to %s (%d recorded, %d evicted)\n"
+    (Trace.length trace) path (Trace.total trace) (Trace.dropped trace)
+
 let print_sections sections = List.iter Report.print sections
 
 let figure_cmd name summary (run : ?quick:bool -> unit -> Report.section list) =
@@ -30,18 +59,27 @@ let latency_cmd =
     Arg.(value & opt int 8 & info [ "res" ] ~doc:"Result size in bytes.")
   in
   let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only op.") in
-  let run arg res read_only =
-    let b = Microbench.bft_latency ~arg ~res ~read_only () in
+  let run arg res read_only trace_out trace_cap =
+    let module Trace = Bft_trace.Trace in
+    let trace =
+      match trace_out with
+      | Some _ -> Trace.create ~capacity:trace_cap ()
+      | None -> Trace.nil
+    in
+    let b = Microbench.bft_latency ~trace ~arg ~res ~read_only () in
     let n = Microbench.norep_latency ~arg ~res () in
     Printf.printf "BFT    : %8.1f us (+/- %.1f, %d ops)\n" (b.Microbench.mean *. 1e6)
       (b.Microbench.stddev *. 1e6) b.Microbench.ops;
     Printf.printf "NO-REP : %8.1f us (+/- %.1f, %d ops)\n" (n.Microbench.mean *. 1e6)
       (n.Microbench.stddev *. 1e6) n.Microbench.ops;
-    Printf.printf "slowdown: %.2f\n" (b.Microbench.mean /. n.Microbench.mean)
+    Printf.printf "slowdown: %.2f\n" (b.Microbench.mean /. n.Microbench.mean);
+    Option.iter (dump_trace trace) trace_out
   in
   Cmd.v
     (Cmd.info "latency" ~doc)
-    Term.(const run $ arg_size $ res_size $ read_only)
+    Term.(
+      const run $ arg_size $ res_size $ read_only $ trace_out_arg ()
+      $ trace_cap_arg)
 
 let throughput_cmd =
   let doc = "One throughput point: BFT for a given op shape and client count." in
@@ -49,8 +87,14 @@ let throughput_cmd =
   let res_size = Arg.(value & opt int 0 & info [ "res" ] ~doc:"Result bytes.") in
   let clients = Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Client count.") in
   let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only ops.") in
-  let run arg res clients read_only =
-    let t = Microbench.bft_throughput ~arg ~res ~read_only ~clients () in
+  let run arg res clients read_only trace_out trace_cap =
+    let module Trace = Bft_trace.Trace in
+    let trace =
+      match trace_out with
+      | Some _ -> Trace.create ~capacity:trace_cap ()
+      | None -> Trace.nil
+    in
+    let t = Microbench.bft_throughput ~trace ~arg ~res ~read_only ~clients () in
     Printf.printf "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
       arg res clients t.Microbench.ops_per_sec t.Microbench.completed
       t.Microbench.retransmissions;
@@ -58,17 +102,22 @@ let throughput_cmd =
       (fun (host, dropped, overflowed) ->
         Printf.printf "  %s: %d datagrams dropped (%d receive-buffer overflows)\n"
           host dropped overflowed)
-      t.Microbench.drops_by_node
+      t.Microbench.drops_by_node;
+    Option.iter (dump_trace trace) trace_out
   in
   Cmd.v
     (Cmd.info "throughput" ~doc)
-    Term.(const run $ arg_size $ res_size $ clients $ read_only)
+    Term.(
+      const run $ arg_size $ res_size $ clients $ read_only $ trace_out_arg ()
+      $ trace_cap_arg)
 
 let trace_cmd =
   let doc =
-    "Trace one BFT latency run: dump the protocol trace as JSONL and print \
-     the per-phase latency breakdown. Deterministic: the same seed and \
-     operation shape produce a byte-identical trace file."
+    "Trace one BFT latency run: dump the protocol trace as JSONL, print the \
+     per-phase latency breakdown and the causal-DAG summary, and optionally \
+     export a Chrome trace (chrome://tracing / Perfetto) or a metric \
+     time-series. Deterministic: the same seed and operation shape produce \
+     byte-identical files."
   in
   let arg_size =
     Arg.(value & opt int 0 & info [ "arg" ] ~doc:"Argument size in bytes.")
@@ -84,40 +133,138 @@ let trace_cmd =
       value & flag
       & info [ "sim-events" ] ~doc:"Also record per-event simulator firings.")
   in
-  let out =
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ]
+          ~doc:"Export a Chrome trace-event JSON file to $(docv)." ~docv:"FILE")
+  in
+  let series_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ]
+          ~doc:"Sample cluster metrics on a virtual-time cadence and write \
+                them as JSONL to $(docv)." ~docv:"FILE")
+  in
+  let series_every =
+    Arg.(
+      value & opt float 0.001
+      & info [ "series-every" ]
+          ~doc:"Virtual-time sampling interval in seconds for $(b,--series)."
+          ~docv:"SECONDS")
+  in
+  let run arg res ops seed read_only sim_events trace_out trace_cap chrome
+      series_out series_every =
+    let module Trace = Bft_trace.Trace in
+    let module Timeline = Bft_trace.Timeline in
+    let trace = Trace.create ~capacity:trace_cap ~sim_events () in
+    let pr =
+      Microbench.bft_profile ~arg ~res ~ops ~seed ~trace ~read_only
+        ?series_every:(Option.map (fun _ -> series_every) series_out)
+        ()
+    in
+    let r = pr.Microbench.pf_latency in
+    dump_trace trace trace_out;
+    (match chrome with
+    | Some path ->
+      write_file path (Bft_trace.Chrome.of_events (Trace.events trace));
+      Printf.printf "wrote Chrome trace to %s\n" path
+    | None -> ());
+    (match (series_out, pr.Microbench.pf_series) with
+    | Some path, Some s ->
+      write_file path (Bft_trace.Series.jsonl s);
+      Printf.printf "wrote %d series samples to %s (%d taken, %d evicted)\n"
+        (Bft_trace.Series.length s)
+        path
+        (Bft_trace.Series.total s)
+        (Bft_trace.Series.dropped s)
+    | _ -> ());
+    let tl = Timeline.of_trace ~skip:Microbench.latency_warmup trace in
+    Report.print (Report.breakdown_section tl);
+    let dag = Bft_trace.Span.of_events (Trace.events trace) in
+    Printf.printf "\ncausal DAG: %s\n" (Bft_trace.Span.summary dag);
+    let phase_sum = Bft_util.Stats.mean tl.Timeline.end_to_end in
+    Printf.printf
+      "microbench mean %8.1f us (+/- %.1f, %d ops); phase sum %8.1f us\n"
+      (r.Microbench.mean *. 1e6)
+      (r.Microbench.stddev *. 1e6)
+      r.Microbench.ops (phase_sum *. 1e6);
+    if not (Bft_trace.Span.complete dag) then begin
+      List.iter
+        (fun (req, reason) ->
+          Printf.eprintf "incomplete DAG for request %Ld: %s\n" req reason)
+        (Bft_trace.Span.check dag);
+      exit 1
+    end
+  in
+  let trace_out_required =
+    (* trace keeps its historical --out spelling as an alias and always
+       writes the JSONL dump, unlike the other subcommands where the trace
+       is opt-in. *)
+    let doc = "Write the protocol trace of the run as JSONL to $(docv)." in
     Arg.(
       value
       & opt string "bft_trace.jsonl"
-      & info [ "out" ] ~doc:"JSONL output path." ~docv:"FILE")
-  in
-  let run arg res ops seed read_only sim_events out =
-    let module Trace = Bft_trace.Trace in
-    let module Timeline = Bft_trace.Timeline in
-    let trace = Trace.create ~capacity:(1 lsl 20) ~sim_events () in
-    let r = Microbench.bft_latency ~arg ~res ~ops ~seed ~trace ~read_only () in
-    let oc =
-      try open_out out
-      with Sys_error msg ->
-        Printf.eprintf "bft_lab: cannot write trace: %s\n" msg;
-        exit 1
-    in
-    output_string oc (Trace.jsonl trace);
-    close_out oc;
-    Printf.printf "wrote %d events to %s (%d recorded, %d evicted)\n"
-      (Trace.length trace) out (Trace.total trace) (Trace.dropped trace);
-    let tl = Timeline.of_trace ~skip:Microbench.latency_warmup trace in
-    Report.print (Report.breakdown_section tl);
-    let phase_sum = Bft_util.Stats.mean tl.Timeline.end_to_end in
-    Printf.printf
-      "\nmicrobench mean %8.1f us (+/- %.1f, %d ops); phase sum %8.1f us\n"
-      (r.Microbench.mean *. 1e6)
-      (r.Microbench.stddev *. 1e6)
-      r.Microbench.ops (phase_sum *. 1e6)
+      & info [ "trace-out"; "out" ] ~doc ~docv:"FILE")
   in
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
-      const run $ arg_size $ res_size $ ops $ seed $ read_only $ sim_events $ out)
+      const run $ arg_size $ res_size $ ops $ seed $ read_only $ sim_events
+      $ trace_out_required $ trace_cap_arg $ chrome $ series_out $ series_every)
+
+let profile_cmd =
+  let doc =
+    "Profile one BFT latency run in virtual time: per-machine, per-category \
+     CPU cost breakdown (MAC generation/verification, digests, message \
+     encode/decode, execution) in the style of the paper's Table 2, plus \
+     crypto operation counts. The per-node category totals sum exactly to \
+     the engine's busy time; the command fails if they do not."
+  in
+  let arg_size =
+    Arg.(value & opt int 0 & info [ "arg" ] ~doc:"Argument size in bytes.")
+  in
+  let res_size =
+    Arg.(value & opt int 0 & info [ "res" ] ~doc:"Result size in bytes.")
+  in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Measured operations.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only op.") in
+  let run arg res ops seed read_only trace_out trace_cap =
+    let module Trace = Bft_trace.Trace in
+    let trace =
+      match trace_out with
+      | Some _ -> Trace.create ~capacity:trace_cap ()
+      | None -> Trace.nil
+    in
+    let pr = Microbench.bft_profile ~arg ~res ~ops ~seed ~trace ~read_only () in
+    let r = pr.Microbench.pf_latency in
+    Report.print (Report.profile_section pr.Microbench.pf_profile);
+    print_newline ();
+    Report.print
+      (Report.crypto_section
+         ~ops:(Microbench.latency_warmup + r.Microbench.ops)
+         pr.Microbench.pf_crypto);
+    Printf.printf "\nlatency: %8.1f us (+/- %.1f, %d ops)\n"
+      (r.Microbench.mean *. 1e6)
+      (r.Microbench.stddev *. 1e6)
+      r.Microbench.ops;
+    Option.iter (dump_trace trace) trace_out;
+    if Bft_trace.Profile.balanced pr.Microbench.pf_profile then
+      print_endline "profile balance: OK (category totals = engine busy time)"
+    else begin
+      prerr_endline
+        "profile balance: FAILED — category totals do not sum to busy time";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ arg_size $ res_size $ ops $ seed $ read_only $ trace_out_arg ()
+      $ trace_cap_arg)
 
 let andrew_cmd =
   let doc = "Run the modified Andrew benchmark on one backend." in
@@ -208,7 +355,7 @@ let chaos_cmd =
         exit 2
       | Ok () -> plan)
   in
-  let run seed campaigns plan_file horizon shrunk_out unsafe =
+  let run seed campaigns plan_file horizon shrunk_out unsafe trace_out trace_cap =
     let run_plan ~seed plan =
       Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan ()
     in
@@ -233,7 +380,29 @@ let chaos_cmd =
          Printf.eprintf "  minimal plan written to %s (replay with --plan)\n"
            shrunk_out
        with Sys_error msg -> Printf.eprintf "  cannot write %s: %s\n" shrunk_out msg);
-      print_endline (Campaign.jsonl ~campaign shrunk_outcome);
+      (* Re-run the minimal failing plan with a live trace sink so the
+         failure is inspectable event by event; the re-run is deterministic,
+         so the traced outcome matches the reported one. *)
+      let module Trace = Bft_trace.Trace in
+      let trace = Trace.create ~capacity:trace_cap () in
+      ignore
+        (Campaign.run ~unsafe_no_commit_quorum:unsafe ~trace ~seed ~plan:shrunk
+           ());
+      let trace_path =
+        try
+          let oc = open_out trace_out in
+          output_string oc (Trace.jsonl trace);
+          close_out oc;
+          Printf.eprintf
+            "  protocol trace of the minimal failure written to %s (%d \
+             events)\n"
+            trace_out (Trace.length trace);
+          Some trace_out
+        with Sys_error msg ->
+          Printf.eprintf "  cannot write %s: %s\n" trace_out msg;
+          None
+      in
+      print_endline (Campaign.jsonl ~campaign ?trace_path shrunk_outcome);
       exit 1
     in
     match plan_file with
@@ -254,8 +423,20 @@ let chaos_cmd =
           report_failure ~campaign ~seed:campaign_seed outcome
       done
   in
+  let trace_out =
+    let doc =
+      "Write the protocol trace of the (shrunk) minimal failing plan as \
+       JSONL to $(docv); the path is recorded in the failure's JSON line."
+    in
+    Arg.(
+      value
+      & opt string "chaos_failure_trace.jsonl"
+      & info [ "trace-out" ] ~doc ~docv:"FILE")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe)
+    Term.(
+      const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe
+      $ trace_out $ trace_cap_arg)
 
 let bench_cmd =
   let doc =
@@ -370,6 +551,7 @@ let cmds =
     throughput_cmd;
     bench_cmd;
     trace_cmd;
+    profile_cmd;
     andrew_cmd;
     chaos_cmd;
     all_cmd;

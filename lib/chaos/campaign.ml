@@ -92,14 +92,15 @@ let audit_replies replicas audited =
     audited;
   List.rev !violations
 
-let run ?(unsafe_no_commit_quorum = false) ~seed ~plan () =
+let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
+    ~seed ~plan () =
   let config =
     Config.make ~f ~checkpoint_interval:8 ~log_window:16
       ~unsafe_no_commit_quorum ()
   in
   let n = config.Config.n in
   let cluster =
-    Cluster.create ~config ~seed ~client_machines:2
+    Cluster.create ~config ~seed ~client_machines:2 ~trace
       ~service:(fun _ -> Bft_services.Counter.service ())
       ()
   in
@@ -266,12 +267,16 @@ let escape s =
     s;
   Buffer.contents b
 
-let jsonl ?(campaign = 0) o =
+let jsonl ?(campaign = 0) ?trace_path o =
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "{\"campaign\":%d,\"seed\":%d,\"events\":%d,\"ops_total\":%d,\"ops_completed\":%d,\"final_view\":%d,\"views_after_heal\":%d,\"sim_time\":%.6f,\"violations\":["
+    "{\"campaign\":%d,\"seed\":%d,\"events\":%d,\"ops_total\":%d,\"ops_completed\":%d,\"final_view\":%d,\"views_after_heal\":%d,\"sim_time\":%.6f,"
     campaign o.seed (List.length o.plan) o.ops_total o.ops_completed o.final_view
     o.views_after_heal o.sim_time;
+  (match trace_path with
+  | Some p -> Printf.bprintf b "\"trace\":\"%s\"," (escape p)
+  | None -> ());
+  Buffer.add_string b "\"violations\":[";
   List.iteri
     (fun i v ->
       if i > 0 then Buffer.add_char b ',';

@@ -33,14 +33,22 @@ type outcome = {
 
 val failed : outcome -> bool
 
-val run : ?unsafe_no_commit_quorum:bool -> seed:int -> plan:Plan.t -> unit -> outcome
+val run :
+  ?unsafe_no_commit_quorum:bool ->
+  ?trace:Bft_trace.Trace.t ->
+  seed:int ->
+  plan:Plan.t ->
+  unit ->
+  outcome
 (** Runs entirely in virtual time; [unsafe_no_commit_quorum] is the
     deliberately unsound protocol variant used to self-test the checker
-    ({!Bft_core.Config.t}). *)
+    ({!Bft_core.Config.t}). Pass a live [trace] to record the campaign's
+    protocol trace — used to make shrunk failures inspectable. *)
 
-val jsonl : ?campaign:int -> outcome -> string
+val jsonl : ?campaign:int -> ?trace_path:string -> outcome -> string
 (** One JSON line (no trailing newline) with a stable field order, so
-    same-seed runs diff byte-identically. *)
+    same-seed runs diff byte-identically. [trace_path] adds a ["trace"]
+    field pointing at the JSONL protocol trace of the (shrunk) failure. *)
 
 val shrink : run:(Plan.t -> outcome) -> Plan.t -> Plan.t * outcome
 (** Greedy event-deletion shrinking: repeatedly drop any single event

@@ -64,6 +64,76 @@ let set_behavior t i b = Replica.set_behavior t.replicas.(i) b
 
 let trace t = Network.trace t.network
 
+let cpus t = Network.cpus t.network
+
+let profile t =
+  Bft_trace.Profile.make ~labels:Cpu.category_labels
+    (List.map
+       (fun (name, cpu) -> (name, Cpu.busy_seconds cpu, Cpu.total_busy cpu))
+       (cpus t))
+
+(* --- time-series sampling --------------------------------------------- *)
+
+(* Fixed column set: network totals, per-replica protocol gauges and CPU
+   busy time, and client-side op counters summed over all clients created
+   so far. Names depend only on the configuration, so same-seed runs
+   produce identical series. *)
+let series_names t =
+  let n = t.config.Config.n in
+  Array.of_list
+    ([ "net.sent"; "net.delivered"; "net.dropped"; "net.bytes" ]
+    @ List.concat
+        (List.init n (fun i ->
+             [
+               Printf.sprintf "r%d.view" i;
+               Printf.sprintf "r%d.executed" i;
+               Printf.sprintf "r%d.committed" i;
+               Printf.sprintf "r%d.busy" i;
+             ]))
+    @ [ "clients.started"; "clients.completed"; "clients.retransmitted" ])
+
+let series_values t =
+  let client_count name =
+    List.fold_left
+      (fun acc c -> acc + Metrics.count (Client.metrics c) name)
+      0 t.clients
+  in
+  let fi = float_of_int in
+  Array.of_list
+    ([
+       fi (Network.sent_datagrams t.network);
+       fi (Network.delivered_datagrams t.network);
+       fi (Network.dropped_datagrams t.network);
+       fi (Network.bytes_on_wire t.network);
+     ]
+    @ List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun i r ->
+                [
+                  fi (Replica.view r);
+                  fi (Replica.last_executed r);
+                  fi (Replica.last_committed r);
+                  Cpu.total_busy (Network.node_cpu t.network (replica_node t i));
+                ])
+              t.replicas))
+    @ [
+        fi (client_count "ops.started");
+        fi (client_count "ops.completed");
+        fi (client_count "ops.retransmitted");
+      ])
+
+let sample_series ?(while_ = fun () -> true) t series ~interval =
+  if interval <= 0.0 then invalid_arg "Cluster.sample_series: interval";
+  let rec tick () =
+    if while_ () then begin
+      Bft_trace.Series.record series ~vtime:(Engine.now t.engine)
+        (series_values t);
+      Engine.schedule t.engine ~delay:interval tick
+    end
+  in
+  Engine.schedule t.engine ~delay:interval tick
+
 let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
     ?(client_machine_speed = 1.0) ?(behaviors = []) ?(recv_buffer = 0.02)
     ?(trace = Bft_trace.Trace.nil) ~config ~service () =

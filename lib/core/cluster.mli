@@ -73,3 +73,30 @@ val trace : t -> Bft_trace.Trace.t
 (** The trace sink shared by the engine, network, replicas and clients
     of this deployment ({!Bft_trace.Trace.nil} unless one was passed to
     {!create}). *)
+
+(* --- profiling and time series --- *)
+
+val cpus : t -> (string * Bft_sim.Cpu.t) list
+(** (name, cpu) of every machine — replicas first, then client machines —
+    in network node order. *)
+
+val profile : t -> Bft_trace.Profile.t
+(** Per-machine, per-category CPU cost breakdown at this instant. Balanced
+    by construction: each machine's category totals sum exactly to its
+    {!Bft_sim.Cpu.total_busy}. *)
+
+val series_names : t -> string array
+(** Column set for {!sample_series}: network totals, per-replica protocol
+    gauges and CPU busy time, client op counters. Depends only on the
+    configuration, so same-seed runs produce identical series. *)
+
+val series_values : t -> float array
+(** Current snapshot of {!series_names} columns. *)
+
+val sample_series :
+  ?while_:(unit -> bool) -> t -> Bft_trace.Series.t -> interval:float -> unit
+(** Record {!series_values} into the series every [interval] virtual
+    seconds, starting one interval from now, for as long as [while_]
+    returns [true] (default: forever — note the pending timer then keeps
+    the engine alive until its [until] horizon). The series must have been
+    created with [~names:(series_names t)]. *)

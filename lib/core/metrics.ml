@@ -47,9 +47,11 @@ let dump t =
     (counters t);
   List.iter
     (fun (name, s) ->
-      Printf.bprintf b "  %s: n=%d mean=%.6g p50=%.6g p99=%.6g max=%.6g\n" name
+      Printf.bprintf b
+        "  %s: n=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g\n" name
         (Stats.count s) (Stats.mean s)
         (Stats.percentile s 50.0)
+        (Stats.percentile s 95.0)
         (Stats.percentile s 99.0)
         (Stats.max s))
     (stats_pairs t);

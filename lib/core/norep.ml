@@ -26,7 +26,8 @@ module Server = struct
   let metrics t = t.metrics
 
   let handle t ~src (r : Message.request) =
-    Cpu.charge (Network.node_cpu t.network t.node)
+    Cpu.charge ~cat:Cpu.Exec
+      (Network.node_cpu t.network t.node)
       (t.service.Service.execute_cost r.Message.op);
     let result, _undo =
       t.service.Service.execute ~client:r.Message.client ~op:r.Message.op

@@ -127,7 +127,7 @@ let engine t = Transport.engine t.transport
 
 let cal t = Transport.calibration t.transport
 
-let charge t cost = Cpu.charge (Transport.cpu t.transport) cost
+let charge ?cat t cost = Cpu.charge ?cat (Transport.cpu t.transport) cost
 
 let f_of t = t.config.Config.f
 
@@ -205,8 +205,9 @@ let client_table_encoding t =
 
 let state_digest t =
   let table = client_table_encoding t in
-  charge t (Calibration.digest_cost (cal t)
-              (t.service.Service.modified_since_checkpoint () + String.length table));
+  charge ~cat:Cpu.Digest t
+    (Calibration.digest_cost (cal t)
+       (t.service.Service.modified_since_checkpoint () + String.length table));
   Fingerprint.of_parts [ t.service.Service.state_digest (); table ]
 
 let snapshot_payload t =
@@ -215,7 +216,8 @@ let snapshot_payload t =
   Enc.bytes enc (client_table_encoding t);
   Enc.bytes enc svc.Payload.data;
   let data = Enc.to_string enc in
-  charge t (float_of_int (String.length data) *. (cal t).Calibration.byte_touch_cost);
+  charge ~cat:Cpu.Encode t
+    (float_of_int (String.length data) *. (cal t).Calibration.byte_touch_cost);
   { Payload.data; pad = svc.Payload.pad }
 
 let restore_snapshot t (p : Payload.t) =
@@ -233,7 +235,8 @@ let restore_snapshot t (p : Payload.t) =
       { last_ts; cached_result; cached_tentative = false }
   done;
   t.service.Service.restore { Payload.data = svc_data; pad = p.Payload.pad };
-  charge t (float_of_int (Payload.size p) *. (cal t).Calibration.byte_touch_cost)
+  charge ~cat:Cpu.Decode t
+    (float_of_int (Payload.size p) *. (cal t).Calibration.byte_touch_cost)
 
 (* --- liveness timer --------------------------------------------------- *)
 
@@ -429,7 +432,8 @@ and send_reply t (r : Message.request) result ~tentative =
        the designated replier's digest is charged by the transport when it
        hashes the full reply message. *)
     if not full then
-      charge t (Calibration.digest_cost (cal t) (Payload.size result));
+      charge ~cat:Cpu.Digest t
+        (Calibration.digest_cost (cal t) (Payload.size result));
     let body =
       if full then Message.Full_result result
       else Message.Result_digest (Payload.digest result)
@@ -484,9 +488,9 @@ and execute_request t (r : Message.request) ~tentative undos =
     resend_cached_reply t r
   end
   else begin
-    charge t (t.service.Service.execute_cost r.Message.op);
+    charge ~cat:Cpu.Exec t (t.service.Service.execute_cost r.Message.op);
     let result, undo = t.service.Service.execute ~client:r.Message.client ~op:r.Message.op in
-    charge t
+    charge ~cat:Cpu.Exec t
       (float_of_int (Payload.size result) *. (cal t).Calibration.byte_touch_cost);
     emit_trace t ~view:t.view ~req_id:(trace_req r)
       ~detail:(if tentative then "tentative" else "final")
@@ -720,7 +724,8 @@ and on_get_state t (g : Message.get_state) =
       (* Hierarchical transfer: ship the page digests; the fetcher asks for
          the pages it lacks. *)
       let digests = Merkle.page_digests (Merkle.paginate snapshot) in
-      charge t (Calibration.digest_cost (cal t) (Payload.size snapshot) /. 4.0);
+      charge ~cat:Cpu.Digest t
+        (Calibration.digest_cost (cal t) (Payload.size snapshot) /. 4.0);
       out_send t
         ~dst:t.replicas.(g.Message.replica)
         (Message.State_meta
@@ -778,7 +783,7 @@ and begin_page_fetch t src seq digest target_pages =
   (* Reuse whatever pages of our current state already match. *)
   let own = Merkle.paginate (snapshot_payload t) in
   let own_digests = Merkle.page_digests own in
-  charge t
+  charge ~cat:Cpu.Digest t
     (Calibration.digest_cost (cal t)
        (Array.length target_pages * Fingerprint.size));
   let have = Hashtbl.create 64 in
@@ -1290,11 +1295,12 @@ and on_request t sender (r : Message.request) =
     then begin
       (* Read-only optimization: execute immediately; reply once every
          previously executed request has committed. *)
-      charge t (t.service.Service.execute_cost r.Message.op);
+      charge ~cat:Cpu.Exec t (t.service.Service.execute_cost r.Message.op);
       let result, _undo =
         t.service.Service.execute ~client:r.Message.client ~op:r.Message.op
       in
-      charge t (Calibration.digest_cost (cal t) (Payload.size result));
+      charge ~cat:Cpu.Digest t
+        (Calibration.digest_cost (cal t) (Payload.size result));
       Metrics.incr t.metrics "exec.read_only";
       emit_trace t ~view:t.view ~req_id:(trace_req r) ~detail:"read-only"
         Trace.Exec_request;

@@ -70,25 +70,27 @@ let next_nonce t =
    are hashed once and MACed cheaply — the scheme the paper relies on. *)
 let charge_send_crypto t ~size ~targets =
   let cal = calibration t in
-  let cost =
-    if t.pk_mode then Calibration.digest_cost cal size +. cal.Calibration.pk_sign_cost
-    else
-      Calibration.digest_cost cal size
-      +. (float_of_int targets *. Calibration.mac_cost cal Fingerprint.size)
-      +. cal.Calibration.protocol_op_cost
-  in
-  Cpu.charge (cpu t) cost
+  let c = cpu t in
+  Cpu.charge ~cat:Cpu.Digest c (Calibration.digest_cost cal size);
+  if t.pk_mode then
+    Cpu.charge ~cat:Cpu.Mac_gen c cal.Calibration.pk_sign_cost
+  else begin
+    Cpu.charge ~cat:Cpu.Mac_gen c
+      (float_of_int targets *. Calibration.mac_cost cal Fingerprint.size);
+    Cpu.charge ~cat:Cpu.Other c cal.Calibration.protocol_op_cost
+  end
 
 let charge_recv_crypto t ~size =
   let cal = calibration t in
-  let cost =
-    if t.pk_mode then Calibration.digest_cost cal size +. cal.Calibration.pk_verify_cost
-    else
-      Calibration.digest_cost cal size
-      +. Calibration.mac_cost cal Fingerprint.size
-      +. cal.Calibration.protocol_op_cost
-  in
-  Cpu.charge (cpu t) cost
+  let c = cpu t in
+  Cpu.charge ~cat:Cpu.Digest c (Calibration.digest_cost cal size);
+  if t.pk_mode then
+    Cpu.charge ~cat:Cpu.Mac_verify c cal.Calibration.pk_verify_cost
+  else begin
+    Cpu.charge ~cat:Cpu.Mac_verify c
+      (Calibration.mac_cost cal Fingerprint.size);
+    Cpu.charge ~cat:Cpu.Other c cal.Calibration.protocol_op_cost
+  end
 
 let build t ~commits ~targets msg =
   let msg = match t.tamper with None -> msg | Some f -> f msg in

@@ -2,17 +2,21 @@ type t = string
 
 let size = 16
 
-let of_string = Md5.digest
+let of_string s =
+  Tally.note_digest (String.length s);
+  Md5.digest s
 
 (* One scratch context per entry point; none of these nest. *)
 let scratch = Md5.init ()
 
 let of_substring s ~off ~len =
+  Tally.note_digest len;
   Md5.reset scratch;
   Md5.update_sub scratch s off len;
   Md5.finalize scratch
 
 let of_bytes b ~off ~len =
+  Tally.note_digest len;
   Md5.reset scratch;
   Md5.update_bytes scratch b off len;
   Md5.finalize scratch
@@ -21,11 +25,13 @@ let of_bytes b ~off ~len =
    so part boundaries are unambiguous. [builder] exposes the same framing
    incrementally so hot paths can feed scratch buffers without first
    materialising part strings. *)
-type builder = { ctx : Md5.ctx; len8 : Bytes.t }
+type builder = { ctx : Md5.ctx; len8 : Bytes.t; mutable fed : int }
 
-let create_builder () = { ctx = Md5.init (); len8 = Bytes.create 8 }
+let create_builder () = { ctx = Md5.init (); len8 = Bytes.create 8; fed = 0 }
 
-let reset_builder b = Md5.reset b.ctx
+let reset_builder b =
+  Md5.reset b.ctx;
+  b.fed <- 0
 
 let add_len b len =
   Bytes.set_int64_le b.len8 0 (Int64.of_int len);
@@ -33,13 +39,17 @@ let add_len b len =
 
 let add_part b part =
   add_len b (String.length part);
+  b.fed <- b.fed + String.length part;
   Md5.update b.ctx part
 
 let add_part_bytes b buf ~off ~len =
   add_len b len;
+  b.fed <- b.fed + len;
   Md5.update_bytes b.ctx buf off len
 
-let finish b = Md5.finalize b.ctx
+let finish b =
+  Tally.note_digest b.fed;
+  Md5.finalize b.ctx
 
 let parts_builder = create_builder ()
 

@@ -21,7 +21,7 @@ let nonce_scratch = Bytes.create 8
 
 let ctx_scratch = Md5.init ()
 
-let compute ~key ~nonce msg =
+let compute_tag ~key ~nonce msg =
   let k = keyed key in
   Bytes.set_int64_le nonce_scratch 0 nonce;
   let ctx = ctx_scratch in
@@ -35,6 +35,10 @@ let compute ~key ~nonce msg =
   Md5.update ctx inner;
   String.sub (Md5.finalize ctx) 0 tag_size
 
+let compute ~key ~nonce msg =
+  Tally.note_mac_gen (String.length msg);
+  compute_tag ~key ~nonce msg
+
 let equal a b =
   (* Constant-time over the common length to avoid timing oracles. *)
   String.length a = String.length b
@@ -43,4 +47,6 @@ let equal a b =
   String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
   !acc = 0
 
-let verify ~key ~nonce msg tag = equal (compute ~key ~nonce msg) tag
+let verify ~key ~nonce msg tag =
+  Tally.note_mac_verify (String.length msg);
+  equal (compute_tag ~key ~nonce msg) tag

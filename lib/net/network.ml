@@ -114,6 +114,13 @@ let node_cpu t id = (get t id).cpu
 
 let node_name t id = (get t id).name
 
+let node_count t = t.node_count
+
+let cpus t =
+  List.init t.node_count (fun id ->
+      let node = t.nodes.(id) in
+      (node.name, node.cpu))
+
 let set_up t id up = (get t id).up <- up
 
 let is_up t id = (get t id).up
@@ -156,7 +163,7 @@ let install_partition t ~groups =
 let heal_partition t = t.faults <- { t.faults with blocked = [] }
 
 let charge_recv t node size =
-  Cpu.charge node.cpu
+  Cpu.charge ~cat:Cpu.Decode node.cpu
     (t.cal.Calibration.udp_recv_cost
     +. (float_of_int size *. t.cal.Calibration.byte_touch_cost))
 
@@ -245,7 +252,7 @@ let transmit t ~src ~dsts ~wire ~size =
   end
 
 let charge_send t node size =
-  Cpu.charge node.cpu
+  Cpu.charge ~cat:Cpu.Encode node.cpu
     (t.cal.Calibration.udp_send_cost
     +. (float_of_int size *. t.cal.Calibration.byte_touch_cost))
 

@@ -53,6 +53,12 @@ val node_cpu : t -> node_id -> Bft_sim.Cpu.t
 
 val node_name : t -> node_id -> string
 
+val node_count : t -> int
+
+val cpus : t -> (string * Bft_sim.Cpu.t) list
+(** (name, cpu) of every node in node-id order — the machines of one
+    deployment, for utilisation and profiling reports. *)
+
 val set_up : t -> node_id -> bool -> unit
 (** A down node silently drops everything it receives. *)
 

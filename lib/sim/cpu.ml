@@ -1,3 +1,28 @@
+type category =
+  | Mac_gen
+  | Mac_verify
+  | Digest
+  | Encode
+  | Decode
+  | Exec
+  | Other
+
+let category_index = function
+  | Mac_gen -> 0
+  | Mac_verify -> 1
+  | Digest -> 2
+  | Encode -> 3
+  | Decode -> 4
+  | Exec -> 5
+  | Other -> 6
+
+let num_categories = 7
+
+let category_labels =
+  [| "mac_gen"; "mac_verify"; "digest"; "encode"; "decode"; "exec"; "other" |]
+
+let category_label c = category_labels.(category_index c)
+
 type t = {
   engine : Engine.t;
   speed : float;
@@ -7,7 +32,7 @@ type t = {
   mutable busy_until_ : float;
   mutable handler_start : float option;
   mutable accum : float; (* work charged by the running handler, speed-1 s *)
-  mutable total_busy_ : float;
+  busy_by_cat : float array; (* busy seconds per category; the fold IS total_busy *)
   mutable stats_since : float;
 }
 
@@ -22,7 +47,7 @@ let create engine ?(speed = 1.0) ~name () =
     busy_until_ = 0.0;
     handler_start = None;
     accum = 0.0;
-    total_busy_ = 0.0;
+    busy_by_cat = Array.make num_categories 0.0;
     stats_since = 0.0;
   }
 
@@ -37,14 +62,15 @@ let virtual_now t =
   | Some start -> start +. (t.accum /. t.speed)
   | None -> Float.max (Engine.now t.engine) t.busy_until_
 
-let charge t seconds =
+let charge ?(cat = Other) t seconds =
   if seconds < 0.0 then invalid_arg "Cpu.charge: negative";
   (match t.handler_start with
   | Some _ -> t.accum <- t.accum +. seconds
   | None ->
     let start = Float.max (Engine.now t.engine) t.busy_until_ in
     t.busy_until_ <- start +. (seconds /. t.speed));
-  t.total_busy_ <- t.total_busy_ +. (seconds /. t.speed)
+  let i = category_index cat in
+  t.busy_by_cat.(i) <- t.busy_by_cat.(i) +. (seconds /. t.speed)
 
 let rec pump t () =
   match Queue.take_opt t.pending with
@@ -75,12 +101,19 @@ let dispatch t handler =
       (pump t)
   end
 
-let total_busy t = t.total_busy_
+(* Total busy time is *defined* as the fold over the per-category array, so
+   the profiler invariant "category totals sum exactly to busy time" holds
+   by construction (same floats, same addition order). *)
+let total_busy t = Array.fold_left ( +. ) 0.0 t.busy_by_cat
+
+let busy_seconds t = Array.copy t.busy_by_cat
+
+let busy_in t cat = t.busy_by_cat.(category_index cat)
 
 let utilisation t ~since =
   let span = Engine.now t.engine -. since in
-  if span <= 0.0 then 0.0 else Float.min 1.0 (t.total_busy_ /. span)
+  if span <= 0.0 then 0.0 else Float.min 1.0 (total_busy t /. span)
 
 let reset_stats t =
-  t.total_busy_ <- 0.0;
+  Array.fill t.busy_by_cat 0 num_categories 0.0;
   t.stats_since <- Engine.now t.engine

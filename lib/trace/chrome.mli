@@ -1,0 +1,14 @@
+(** Chrome trace-event JSON export (chrome://tracing / Perfetto legacy).
+
+    One track per protocol principal inside a single process: request
+    lifetimes and per-batch ordering phases render as duration events,
+    retransmits / batch executions / view changes / stable checkpoints as
+    instants. Only core-layer events are exported; network and engine
+    events use a different node-id space and are skipped.
+
+    The export is deterministic — fixed field order and float formatting —
+    so equal traces produce byte-identical files. *)
+
+val of_events : Trace.event list -> string
+(** Render events (oldest first, as {!Trace.events} returns) to a complete
+    JSON document. *)

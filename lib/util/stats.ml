@@ -1,22 +1,92 @@
+(* Bounded-memory sample accumulator. Up to [capacity] samples are retained
+   verbatim, so every summary below is exact for small sample sets (the
+   benchmark harness stays well under the default capacity and its golden
+   outputs depend on that). Past the capacity the accumulator switches to
+   Vitter's algorithm R with a private deterministic xorshift generator:
+   mean/min/max/total stay exact (running aggregates, insertion order),
+   stddev falls back to a Welford accumulator, and percentiles become
+   reservoir estimates. *)
+
 type t = {
-  mutable samples : float array;
-  mutable size : int;
+  mutable samples : float array; (* retained (reservoir) samples *)
+  mutable size : int; (* retained count, <= capacity *)
+  mutable n : int; (* total samples ever added *)
+  mutable sum : float; (* running total, insertion order *)
+  mutable minv : float;
+  mutable maxv : float;
+  mutable mean_w : float; (* Welford running mean *)
+  mutable m2 : float; (* Welford sum of squared deviations *)
+  mutable rng : int64; (* xorshift64* state; fixed seed, per-instance *)
+  capacity : int;
   mutable sorted : float array option; (* cache invalidated by [add] *)
 }
 
-let create () = { samples = Array.make 16 0.0; size = 0; sorted = None }
+let default_capacity = 8192
+
+let rng_seed = 0x9E3779B97F4A7C15L
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 2 then invalid_arg "Stats.create: capacity";
+  {
+    samples = Array.make 16 0.0;
+    size = 0;
+    n = 0;
+    sum = 0.0;
+    minv = infinity;
+    maxv = neg_infinity;
+    mean_w = 0.0;
+    m2 = 0.0;
+    rng = rng_seed;
+    capacity;
+    sorted = None;
+  }
+
+(* xorshift64*: deterministic, no global state, good enough for reservoir
+   slot selection. *)
+let rand_below t bound =
+  let s = t.rng in
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  let s = Int64.logxor s (Int64.shift_left s 17) in
+  t.rng <- s;
+  let mixed = Int64.mul s 0x2545F4914F6CDD1DL in
+  let r = Int64.to_int (Int64.shift_right_logical mixed 2) land max_int in
+  r mod bound
 
 let add t x =
-  if t.size = Array.length t.samples then begin
-    let bigger = Array.make (2 * t.size) 0.0 in
-    Array.blit t.samples 0 bigger 0 t.size;
-    t.samples <- bigger
-  end;
-  t.samples.(t.size) <- x;
-  t.size <- t.size + 1;
-  t.sorted <- None
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x;
+  let delta = x -. t.mean_w in
+  t.mean_w <- t.mean_w +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_w));
+  if t.size < t.capacity then begin
+    if t.size = Array.length t.samples then begin
+      let bigger =
+        Array.make (Stdlib.min t.capacity (2 * t.size)) 0.0
+      in
+      Array.blit t.samples 0 bigger 0 t.size;
+      t.samples <- bigger
+    end;
+    t.samples.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- None
+  end
+  else begin
+    (* Algorithm R: replace a random slot with probability capacity/n. *)
+    let j = rand_below t t.n in
+    if j < t.capacity then begin
+      t.samples.(j) <- x;
+      t.sorted <- None
+    end
+  end
 
-let count t = t.size
+let count t = t.n
+
+let retained t = t.size
+
+let capacity t = t.capacity
 
 let fold f init t =
   let acc = ref init in
@@ -25,21 +95,24 @@ let fold f init t =
   done;
   !acc
 
-let total t = fold ( +. ) 0.0 t
+let total t = t.sum
 
-let mean t = if t.size = 0 then nan else total t /. float_of_int t.size
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
 
 let stddev t =
-  if t.size < 2 then 0.0
-  else begin
+  if t.n < 2 then 0.0
+  else if t.n = t.size then begin
+    (* Nothing dropped: exact two-pass over the retained samples, which is
+       byte-identical to the pre-reservoir implementation. *)
     let m = mean t in
     let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
     sqrt (ss /. float_of_int (t.size - 1))
   end
+  else sqrt (t.m2 /. float_of_int (t.n - 1))
 
-let min t = if t.size = 0 then nan else fold Float.min infinity t
+let min t = if t.n = 0 then nan else t.minv
 
-let max t = if t.size = 0 then nan else fold Float.max neg_infinity t
+let max t = if t.n = 0 then nan else t.maxv
 
 let sorted t =
   match t.sorted with
@@ -61,12 +134,25 @@ let percentile t p =
 
 let median t = percentile t 50.0
 
+let p50 = median
+
+let p95 t = percentile t 95.0
+
+let p99 t = percentile t 99.0
+
 let clear t =
   t.size <- 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.minv <- infinity;
+  t.maxv <- neg_infinity;
+  t.mean_w <- 0.0;
+  t.m2 <- 0.0;
+  t.rng <- rng_seed;
   t.sorted <- None
 
 let merge a b =
-  let m = create () in
+  let m = create ~capacity:(Stdlib.max a.capacity b.capacity) () in
   for i = 0 to a.size - 1 do
     add m a.samples.(i)
   done;

@@ -1,19 +1,40 @@
-(** Online and batch summary statistics used by the benchmark harness. *)
+(** Online and batch summary statistics used by the benchmark harness.
+
+    Memory is bounded: up to [capacity] samples are retained verbatim
+    (default {!default_capacity}); beyond that the accumulator keeps a
+    deterministic reservoir (Vitter's algorithm R with a private xorshift
+    generator — no global RNG, so results are reproducible). While nothing
+    has been dropped every summary is exact and byte-identical to a plain
+    store-everything accumulator; once the reservoir is in play
+    [mean]/[min]/[max]/[total] stay exact (running aggregates) while
+    [stddev] switches to a Welford accumulator and percentiles become
+    reservoir estimates. *)
 
 type t
 (** A mutable accumulator of float samples. *)
 
-val create : unit -> t
+val default_capacity : int
+(** Retained-sample bound used when [create] is not given [?capacity]. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained samples; must be at least 2. *)
 
 val add : t -> float -> unit
 
 val count : t -> int
+(** Total samples ever added (including any dropped from the reservoir). *)
+
+val retained : t -> int
+(** Samples currently held; [min (count t) capacity]. *)
+
+val capacity : t -> int
 
 val mean : t -> float
-(** Mean of the samples; [nan] when empty. *)
+(** Mean of all samples (exact); [nan] when empty. *)
 
 val stddev : t -> float
-(** Sample standard deviation; [0.] with fewer than two samples. *)
+(** Sample standard deviation; [0.] with fewer than two samples. Exact
+    two-pass while nothing has been dropped, Welford estimate after. *)
 
 val min : t -> float
 
@@ -23,14 +44,22 @@ val total : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]], nearest-rank on the sorted
-    samples; [nan] when empty.  O(n log n) on first call after adds. *)
+    retained samples; [nan] when empty.  O(n log n) on first call after
+    adds. *)
 
 val median : t -> float
+
+val p50 : t -> float
+
+val p95 : t -> float
+
+val p99 : t -> float
 
 val clear : t -> unit
 
 val merge : t -> t -> t
-(** [merge a b] is a fresh accumulator containing both sample sets. *)
+(** [merge a b] is a fresh accumulator fed both retained sample sets. *)
 
 val to_list : t -> float list
-(** Samples in insertion order. *)
+(** Retained samples in insertion order (all samples while nothing has been
+    dropped). *)

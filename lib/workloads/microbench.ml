@@ -21,8 +21,11 @@ let client_speed = 700.0 /. 600.0  (* the paper's latency client was 700 MHz *)
 
 let latency_warmup = 8
 
-let bft_latency ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
-    ?(trace = Bft_trace.Trace.nil) ~arg ~res ~read_only () =
+(* Shared latency rig; returns the cluster (and the optional series ring)
+   so profiling callers can read CPU state after the run. *)
+let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
+    ?(trace = Bft_trace.Trace.nil) ?series_every ?(series_cap = 4096) ~arg
+    ~res ~read_only () =
   let cluster =
     Cluster.create ~seed ~client_machines:1 ~client_machine_speed:client_speed
       ~trace ~config ~service:(fun _ -> Service.null ()) ()
@@ -32,6 +35,22 @@ let bft_latency ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
   let warmup = latency_warmup in
   let stats = Stats.create () in
   let remaining = ref (warmup + ops) in
+  let series =
+    Option.map
+      (fun interval ->
+        let s =
+          Bft_trace.Series.create ~capacity:series_cap
+            ~names:(Cluster.series_names cluster) ()
+        in
+        (* Stop sampling once every measured operation has completed, so
+           the sampler timer does not keep the engine running to its
+           horizon. *)
+        Cluster.sample_series
+          ~while_:(fun () -> !remaining > 0 || Stats.count stats < ops)
+          cluster s ~interval;
+        s)
+      series_every
+  in
   let rec loop () =
     if !remaining > 0 then begin
       decr remaining;
@@ -42,7 +61,35 @@ let bft_latency ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
   in
   loop ();
   Cluster.run ~until:120.0 cluster;
-  { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
+  ( cluster,
+    series,
+    { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
+  )
+
+let bft_latency ?config ?ops ?seed ?trace ~arg ~res ~read_only () =
+  let _, _, r = latency_run ?config ?ops ?seed ?trace ~arg ~res ~read_only () in
+  r
+
+type profile_result = {
+  pf_latency : latency_result;
+  pf_profile : Bft_trace.Profile.t;
+  pf_crypto : Bft_crypto.Tally.snapshot;
+  pf_series : Bft_trace.Series.t option;
+}
+
+let bft_profile ?config ?ops ?seed ?trace ?series_every ?series_cap ~arg ~res
+    ~read_only () =
+  Bft_crypto.Tally.reset ();
+  let cluster, series, lat =
+    latency_run ?config ?ops ?seed ?trace ?series_every ?series_cap ~arg ~res
+      ~read_only ()
+  in
+  {
+    pf_latency = lat;
+    pf_profile = Cluster.profile cluster;
+    pf_crypto = Bft_crypto.Tally.snapshot ();
+    pf_series = series;
+  }
 
 (* A NO-REP rig: one server machine, [machines] client machines. *)
 let norep_rig ~seed ~machines ~clients ~retry =
@@ -109,9 +156,10 @@ let measure_window ~engine ~warmup ~window ~per_client_counts =
   (completed, stalled)
 
 let bft_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42) ?(warmup = 0.5)
-    ?(window = 1.0) ~arg ~res ~read_only ~clients () =
+    ?(window = 1.0) ?(trace = Bft_trace.Trace.nil) ~arg ~res ~read_only
+    ~clients () =
   let cluster =
-    Cluster.create ~seed ~client_machines:5 ~config
+    Cluster.create ~seed ~client_machines:5 ~trace ~config
       ~service:(fun _ -> Service.null ()) ()
   in
   let op = Service.null_op ~read_only ~arg_size:arg ~result_size:res in

@@ -27,6 +27,36 @@ val bft_latency :
     fold it with {!Bft_trace.Timeline.of_trace} [~skip:latency_warmup]
     to decompose exactly the measured operations. *)
 
+type profile_result = {
+  pf_latency : latency_result;
+  pf_profile : Bft_trace.Profile.t;
+      (** per-machine, per-category CPU cost breakdown of the whole run *)
+  pf_crypto : Bft_crypto.Tally.snapshot;
+      (** crypto operation counts over the whole run (setup included) *)
+  pf_series : Bft_trace.Series.t option;
+      (** metric snapshots, when [series_every] was given *)
+}
+
+val bft_profile :
+  ?config:Bft_core.Config.t ->
+  ?ops:int ->
+  ?seed:int ->
+  ?trace:Bft_trace.Trace.t ->
+  ?series_every:float ->
+  ?series_cap:int ->
+  arg:int ->
+  res:int ->
+  read_only:bool ->
+  unit ->
+  profile_result
+(** {!bft_latency} plus profiling: resets the global crypto tally, runs the
+    same rig, and captures the per-category CPU profile and crypto op
+    counts. With [series_every], also samples {!Bft_core.Cluster.series_values}
+    on that virtual-time cadence into a ring of [series_cap] samples
+    (default 4096); note the sampler adds engine events, so traced virtual
+    times can differ from an unsampled run. The profile is balanced by
+    construction (see {!Bft_trace.Profile.balanced}). *)
+
 val norep_latency :
   ?ops:int -> ?seed:int -> arg:int -> res:int -> unit -> latency_result
 
@@ -46,6 +76,7 @@ val bft_throughput :
   ?seed:int ->
   ?warmup:float ->
   ?window:float ->
+  ?trace:Bft_trace.Trace.t ->
   arg:int ->
   res:int ->
   read_only:bool ->
@@ -53,7 +84,7 @@ val bft_throughput :
   unit ->
   throughput_result
 (** Clients spread over 5 client machines, closed loop, measured over
-    [window] seconds after [warmup]. *)
+    [window] seconds after [warmup]. [trace] as in {!bft_latency}. *)
 
 val norep_throughput :
   ?seed:int ->

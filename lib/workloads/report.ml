@@ -60,6 +60,7 @@ let breakdown_section ?(id = "trace") ?(title = "Per-phase latency breakdown")
           ("phase", Table.Left);
           ("mean (us)", Table.Right);
           ("p50 (us)", Table.Right);
+          ("p95 (us)", Table.Right);
           ("p99 (us)", Table.Right);
           ("share", Table.Right);
         ]
@@ -77,9 +78,75 @@ let breakdown_section ?(id = "trace") ?(title = "Per-phase latency breakdown")
         [
           name;
           Table.cell_f ~decimals:1 (us mean);
-          Table.cell_f ~decimals:1 (us (Stats.percentile stats 50.0));
-          Table.cell_f ~decimals:1 (us (Stats.percentile stats 99.0));
+          Table.cell_f ~decimals:1 (us (Stats.p50 stats));
+          Table.cell_f ~decimals:1 (us (Stats.p95 stats));
+          Table.cell_f ~decimals:1 (us (Stats.p99 stats));
           share;
         ])
     (Bft_trace.Timeline.phases tl);
+  { id; title; table; anchors = [] }
+
+(* Paper Section 4.2: where do the modeled CPU cycles go? One row per
+   machine plus a cluster-wide total, one column per cost category. *)
+let profile_section ?(id = "profile")
+    ?(title = "CPU cost breakdown (virtual time)") (p : Bft_trace.Profile.t) =
+  let module Profile = Bft_trace.Profile in
+  let us x = x *. 1e6 in
+  let labels = Profile.labels p in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s%s" title
+           (if Profile.balanced p then "" else " [UNBALANCED]"))
+      ~columns:
+        (("machine", Table.Left)
+        :: (Array.to_list labels
+           |> List.map (fun l -> (l ^ " (us)", Table.Right)))
+        @ [ ("busy (us)", Table.Right) ])
+  in
+  List.iter
+    (fun (n : Profile.node) ->
+      Table.add_row table
+        (n.Profile.pn_name
+        :: (Array.to_list n.Profile.pn_seconds
+           |> List.map (fun s -> Table.cell_f ~decimals:1 (us s)))
+        @ [ Table.cell_f ~decimals:1 (us n.Profile.pn_busy) ]))
+    (Profile.nodes p);
+  Table.add_separator table;
+  Table.add_row table
+    ("total"
+    :: (Array.to_list (Profile.totals p)
+       |> List.map (fun s -> Table.cell_f ~decimals:1 (us s)))
+    @ [ Table.cell_f ~decimals:1 (us (Profile.total_busy p)) ]);
+  { id; title; table; anchors = [] }
+
+(* Paper Section 4.2 counts operations, not just cycles: MACs generated and
+   checked, bytes digested — per completed request when [ops] is given. *)
+let crypto_section ?(id = "crypto") ?(title = "Crypto operation counts")
+    ?ops (c : Bft_crypto.Tally.snapshot) =
+  let table =
+    Table.create ~title
+      ~columns:
+        (("operation", Table.Left)
+        :: ("count", Table.Right)
+        :: ("bytes", Table.Right)
+        ::
+        (match ops with
+        | Some _ -> [ ("per request", Table.Right) ]
+        | None -> []))
+  in
+  let row name count bytes =
+    Table.add_row table
+      (name :: string_of_int count :: string_of_int bytes
+      ::
+      (match ops with
+      | Some n when n > 0 ->
+        [ Table.cell_f ~decimals:1 (float_of_int count /. float_of_int n) ]
+      | Some _ -> [ "-" ]
+      | None -> []))
+  in
+  row "mac generate" c.Bft_crypto.Tally.mac_gen_ops c.Bft_crypto.Tally.mac_gen_bytes;
+  row "mac verify" c.Bft_crypto.Tally.mac_verify_ops
+    c.Bft_crypto.Tally.mac_verify_bytes;
+  row "digest" c.Bft_crypto.Tally.digest_ops c.Bft_crypto.Tally.digest_bytes;
   { id; title; table; anchors = [] }

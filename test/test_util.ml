@@ -190,6 +190,57 @@ let test_stats_merge_and_clear () =
   check Alcotest.int "cleared" 0 (Stats.count a);
   check (Alcotest.list feps) "to_list order" [ 3.0 ] (Stats.to_list b)
 
+let test_stats_reservoir_overflow () =
+  let s = Stats.create ~capacity:16 () in
+  for i = 1 to 1000 do
+    Stats.add s (float_of_int i)
+  done;
+  (* Running aggregates stay exact past the retention bound... *)
+  check Alcotest.int "count is total" 1000 (Stats.count s);
+  check Alcotest.int "retention bounded" 16 (Stats.retained s);
+  check Alcotest.int "capacity" 16 (Stats.capacity s);
+  check feps "mean exact" 500.5 (Stats.mean s);
+  check feps "min exact" 1.0 (Stats.min s);
+  check feps "max exact" 1000.0 (Stats.max s);
+  check feps "total exact" 500500.0 (Stats.total s);
+  (* ...stddev becomes a Welford estimate and percentiles reservoir
+     estimates: finite and inside the sample range. *)
+  check (Alcotest.float 5.0) "stddev estimate" 288.8194361 (Stats.stddev s);
+  let p50 = Stats.p50 s in
+  check Alcotest.bool "p50 in range" true (p50 >= 1.0 && p50 <= 1000.0);
+  check Alcotest.bool "quantiles ordered" true
+    (Stats.p50 s <= Stats.p95 s && Stats.p95 s <= Stats.p99 s)
+
+let test_stats_reservoir_deterministic () =
+  let fill () =
+    let s = Stats.create ~capacity:8 () in
+    for i = 1 to 500 do
+      Stats.add s (float_of_int (i * 7 mod 101))
+    done;
+    s
+  in
+  let a = fill () and b = fill () in
+  check (Alcotest.list feps) "same retained samples" (Stats.to_list a)
+    (Stats.to_list b);
+  check feps "same p50" (Stats.p50 a) (Stats.p50 b);
+  (* clear resets the private RNG: refilling reproduces the same state. *)
+  Stats.clear a;
+  for i = 1 to 500 do
+    Stats.add a (float_of_int (i * 7 mod 101))
+  done;
+  check (Alcotest.list feps) "clear resets reservoir RNG" (Stats.to_list b)
+    (Stats.to_list a)
+
+let test_stats_exact_below_capacity () =
+  (* While nothing has been dropped the accumulator is byte-identical to a
+     store-everything implementation: insertion order, exact stddev. *)
+  let s = Stats.create ~capacity:64 () in
+  let xs = [ 9.0; 1.0; 5.0; 5.0; 2.0 ] in
+  List.iter (Stats.add s) xs;
+  check (Alcotest.list feps) "insertion order" xs (Stats.to_list s);
+  check Alcotest.int "retained = count" (Stats.count s) (Stats.retained s);
+  check (Alcotest.float 1e-9) "exact stddev" (sqrt 9.8) (Stats.stddev s)
+
 (* --- codec ------------------------------------------------------------- *)
 
 let roundtrip_scalar () =
@@ -327,6 +378,12 @@ let () =
           Alcotest.test_case "percentile cache invalidation" `Quick
             test_stats_percentile_cache_invalidation;
           Alcotest.test_case "merge and clear" `Quick test_stats_merge_and_clear;
+          Alcotest.test_case "reservoir overflow" `Quick
+            test_stats_reservoir_overflow;
+          Alcotest.test_case "reservoir deterministic" `Quick
+            test_stats_reservoir_deterministic;
+          Alcotest.test_case "exact below capacity" `Quick
+            test_stats_exact_below_capacity;
         ] );
       ( "codec",
         [
