@@ -86,30 +86,59 @@ let throughput_cmd =
   let arg_size = Arg.(value & opt int 0 & info [ "arg" ] ~doc:"Argument bytes.") in
   let res_size = Arg.(value & opt int 0 & info [ "res" ] ~doc:"Result bytes.") in
   let clients = Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Client count.") in
+  let groups =
+    Arg.(
+      value & opt int 1
+      & info [ "groups" ]
+          ~doc:
+            "Replica groups. With more than one, runs the sharded \
+             uniform-key KV workload ($(b,--clients) proxies spread over \
+             the groups; $(b,--arg)/$(b,--res)/$(b,--read-only) do not \
+             apply).")
+  in
   let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only ops.") in
-  let run arg res clients read_only trace_out trace_cap =
+  let run arg res clients groups read_only trace_out trace_cap =
     let module Trace = Bft_trace.Trace in
     let trace =
       match trace_out with
       | Some _ -> Trace.create ~capacity:trace_cap ()
       | None -> Trace.nil
     in
-    let t = Microbench.bft_throughput ~trace ~arg ~res ~read_only ~clients () in
-    Printf.printf "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
-      arg res clients t.Microbench.ops_per_sec t.Microbench.completed
-      t.Microbench.retransmissions;
-    List.iter
-      (fun (host, dropped, overflowed) ->
-        Printf.printf "  %s: %d datagrams dropped (%d receive-buffer overflows)\n"
-          host dropped overflowed)
-      t.Microbench.drops_by_node;
+    let drops t =
+      List.iter
+        (fun (host, dropped, overflowed) ->
+          Printf.printf "  %s: %d datagrams dropped (%d receive-buffer overflows)\n"
+            host dropped overflowed)
+        t
+    in
+    if groups > 1 then begin
+      let clients_per_group = Stdlib.max 1 (clients / groups) in
+      let t = Microbench.sharded_throughput ~trace ~groups ~clients_per_group () in
+      Printf.printf
+        "BFT sharded KV, %d groups x %d proxies: %.0f ops/s (%d completed, %d \
+         retransmissions)\n"
+        groups clients_per_group t.Microbench.sh_ops_per_sec
+        t.Microbench.sh_completed t.Microbench.sh_retransmissions;
+      Array.iteri
+        (fun g c -> Printf.printf "  group %d: %d completed\n" g c)
+        t.Microbench.sh_per_group;
+      drops t.Microbench.sh_drops_by_node
+    end
+    else begin
+      let t = Microbench.bft_throughput ~trace ~arg ~res ~read_only ~clients () in
+      Printf.printf
+        "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
+        arg res clients t.Microbench.ops_per_sec t.Microbench.completed
+        t.Microbench.retransmissions;
+      drops t.Microbench.drops_by_node
+    end;
     Option.iter (dump_trace trace) trace_out
   in
   Cmd.v
     (Cmd.info "throughput" ~doc)
     Term.(
-      const run $ arg_size $ res_size $ clients $ read_only $ trace_out_arg ()
-      $ trace_cap_arg)
+      const run $ arg_size $ res_size $ clients $ groups $ read_only
+      $ trace_out_arg () $ trace_cap_arg)
 
 let trace_cmd =
   let doc =
@@ -453,6 +482,14 @@ let bench_cmd =
       & info [ "quick" ] ~doc:"Small iteration counts (CI smoke run).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let groups =
+    Arg.(
+      value & opt int 4
+      & info [ "groups" ]
+          ~doc:
+            "Upper bound of the scaling sweep: the scaling section runs 1, \
+             2, 4, ... groups up to this count.")
+  in
   let json_out =
     Arg.(
       value
@@ -478,8 +515,8 @@ let bench_cmd =
           ~doc:"Write the virtual-time results to this golden file."
           ~docv:"FILE")
   in
-  let run quick seed json_out golden write_golden =
-    let t = Saturation.run ~quick ~seed () in
+  let run quick seed groups json_out golden write_golden =
+    let t = Saturation.run ~quick ~seed ~max_groups:groups () in
     Saturation.print t;
     let write path contents =
       let oc =
@@ -520,7 +557,7 @@ let bench_cmd =
       end
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ quick $ seed $ json_out $ golden $ write_golden)
+    Term.(const run $ quick $ seed $ groups $ json_out $ golden $ write_golden)
 
 let all_cmd =
   let doc = "Run every figure (the full benchmark suite)." in

@@ -166,6 +166,7 @@ let byzantine_menu =
     Behavior.Forge_auth;
     Behavior.Stale_view;
     Behavior.Replay;
+    Behavior.Inflate_view 1_000_000;
   |]
 
 let generate ~rng ~n ~f ~horizon =

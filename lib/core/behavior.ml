@@ -7,12 +7,13 @@ type t =
   | Forge_auth
   | Stale_view
   | Replay
+  | Inflate_view of int
   | Slow of float
 
 let is_correct = function
   | Correct | Slow _ -> true
   | Crash_at _ | Mute | Two_faced | Corrupt_replies | Forge_auth | Stale_view
-  | Replay ->
+  | Replay | Inflate_view _ ->
     false
 
 let pp fmt = function
@@ -24,6 +25,7 @@ let pp fmt = function
   | Forge_auth -> Format.pp_print_string fmt "forge-auth"
   | Stale_view -> Format.pp_print_string fmt "stale-view"
   | Replay -> Format.pp_print_string fmt "replay"
+  | Inflate_view k -> Format.fprintf fmt "inflate-view+%d" k
   | Slow s -> Format.fprintf fmt "slow+%.0fus" (s *. 1e6)
 
 (* Stable names for fault-plan files: [of_string (to_string b) = Some b]. *)
@@ -36,6 +38,7 @@ let to_string = function
   | Forge_auth -> "forge-auth"
   | Stale_view -> "stale-view"
   | Replay -> "replay"
+  | Inflate_view k -> Printf.sprintf "inflate-view:%d" k
   | Slow s -> Printf.sprintf "slow:%.6f" s
 
 let of_string s =
@@ -53,7 +56,11 @@ let of_string s =
   | Some i -> (
     let tag = String.sub s 0 i in
     let arg = String.sub s (i + 1) (String.length s - i - 1) in
-    match (tag, float_of_string_opt arg) with
-    | "crash-at", Some v -> Some (Crash_at v)
-    | "slow", Some v -> Some (Slow v)
-    | _ -> None)
+    match tag with
+    | "inflate-view" ->
+      Option.map (fun k -> Inflate_view k) (int_of_string_opt arg)
+    | _ -> (
+      match (tag, float_of_string_opt arg) with
+      | "crash-at", Some v -> Some (Crash_at v)
+      | "slow", Some v -> Some (Slow v)
+      | _ -> None))

@@ -20,6 +20,10 @@ type t =
       (** records authenticated datagrams it receives and re-injects them
           verbatim later — a replay attack; duplicate suppression and
           timestamp checks must defuse it *)
+  | Inflate_view of int
+      (** executes and replies honestly but reports its view inflated by
+          this amount in replies — an attack on the client's view tracking
+          and on the view it attaches to accepted outcomes *)
   | Slow of float  (** adds CPU seconds to every handled message *)
 
 val is_correct : t -> bool

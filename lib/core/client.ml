@@ -170,6 +170,25 @@ let tally_remove p (rr : reply_record) =
     tally.t_total <- tally.t_total - 1;
     if not rr.rr_tentative then tally.t_committed <- tally.t_committed - 1
 
+(* The view reported with an accepted outcome. Only replies that vouched
+   for the accepted digest count, and among those the (f+1)-th largest view
+   is taken: any f+1 of them include at least one correct replica, so a
+   Byzantine replica that joins the quorum with the right digest but an
+   arbitrarily inflated view cannot push the outcome's view past what some
+   correct replica actually reported. (A max-fold over *all* records let a
+   single liar inflate it without bound.) The accepting quorum always holds
+   at least f+1 matching records, so the index is in range. *)
+let quorum_view t p ~digest =
+  let views =
+    Hashtbl.fold
+      (fun _ rr acc ->
+        if Fingerprint.equal rr.rr_digest digest then rr.rr_view :: acc
+        else acc)
+      p.replies []
+  in
+  let sorted = List.sort (fun a b -> compare b a) views in
+  List.nth sorted (Stdlib.min t.config.Config.f (List.length sorted - 1))
+
 (* Acceptance is checked only for the digest the arriving reply touched:
    counts for a digest change only when one of its own replies arrives (a
    superseding reply can lower another digest's counts, but acceptance
@@ -177,7 +196,7 @@ let tally_remove p (rr : reply_record) =
    The winner is therefore the first digest whose quorum completes in
    arrival order — deterministic, rather than [Hashtbl.iter] order over a
    rebuilt table. *)
-let check_acceptance t p (tally : tally) =
+let check_acceptance t p ~digest (tally : tally) =
   let f = t.config.Config.f in
   let strong = (2 * f) + 1 and weak = f + 1 in
   let enough =
@@ -196,9 +215,7 @@ let check_acceptance t p (tally : tally) =
     | Some result ->
       Timer.cancel p.timer;
       t.pending <- None;
-      let view =
-        Hashtbl.fold (fun _ rr acc -> Stdlib.max acc rr.rr_view) p.replies 0
-      in
+      let view = quorum_view t p ~digest in
       Metrics.incr t.metrics "ops.completed";
       let latency = Engine.now (Transport.engine t.transport) -. p.started in
       Metrics.sample t.metrics "latency" latency;
@@ -238,11 +255,11 @@ let handle_reply t p (r : Message.reply) =
            || (old.rr_full = None && record.rr_full <> None) ->
       Hashtbl.replace p.replies replica record;
       tally_remove p old;
-      check_acceptance t p (tally_add p record)
+      check_acceptance t p ~digest:record.rr_digest (tally_add p record)
     | Some _ -> ()
     | None ->
       Hashtbl.add p.replies replica record;
-      check_acceptance t p (tally_add p record)
+      check_acceptance t p ~digest:record.rr_digest (tally_add p record)
   end
 
 let create ~config ~transport ~replicas ~rng ~dispatcher () =

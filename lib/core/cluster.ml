@@ -16,6 +16,8 @@ type t = {
   network : Network.t;
   config : Config.t;
   master : string;
+  name_prefix : string;
+  client_principal_base : int;
   root_rng : Rng.t;
   replicas : Replica.t array;
   replica_peers : Transport.peer array;
@@ -80,15 +82,16 @@ let profile t =
    produce identical series. *)
 let series_names t =
   let n = t.config.Config.n in
+  let p = t.name_prefix in
   Array.of_list
     ([ "net.sent"; "net.delivered"; "net.dropped"; "net.bytes" ]
     @ List.concat
         (List.init n (fun i ->
              [
-               Printf.sprintf "r%d.view" i;
-               Printf.sprintf "r%d.executed" i;
-               Printf.sprintf "r%d.committed" i;
-               Printf.sprintf "r%d.busy" i;
+               Printf.sprintf "%sr%d.view" p i;
+               Printf.sprintf "%sr%d.executed" p i;
+               Printf.sprintf "%sr%d.committed" p i;
+               Printf.sprintf "%sr%d.busy" p i;
              ]))
     @ [ "clients.started"; "clients.completed"; "clients.retransmitted" ])
 
@@ -136,23 +139,41 @@ let sample_series ?(while_ = fun () -> true) t series ~interval =
 
 let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
     ?(client_machine_speed = 1.0) ?(behaviors = []) ?(recv_buffer = 0.02)
-    ?(trace = Bft_trace.Trace.nil) ~config ~service () =
+    ?(trace = Bft_trace.Trace.nil) ?network ?(name_prefix = "")
+    ?client_principal_base ?master ~config ~service () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
   let root_rng = Rng.of_int seed in
-  let engine = Engine.create () in
-  Engine.set_trace engine trace;
-  let network = Network.create engine cal ~rng:(Rng.split root_rng "network") in
-  Network.set_trace network trace;
+  let engine, cal, network =
+    match network with
+    | Some net ->
+      (* Shared simulation (sharded deployments): the caller owns the
+         engine, the calibration and the trace wiring. *)
+      (Network.engine net, Network.calibration net, net)
+    | None ->
+      let engine = Engine.create () in
+      Engine.set_trace engine trace;
+      let net = Network.create engine cal ~rng:(Rng.split root_rng "network") in
+      Network.set_trace net trace;
+      (engine, cal, net)
+  in
   let n = config.Config.n in
-  let master = Printf.sprintf "cluster-master-secret-%d" seed in
+  let master =
+    match master with
+    | Some m -> m
+    | None -> Printf.sprintf "cluster-master-secret-%d" seed
+  in
+  let client_principal_base = Option.value ~default:n client_principal_base in
+  if client_principal_base < n then
+    invalid_arg "Cluster.create: client principals must not collide with replicas";
+  let node_name fmt = Printf.ksprintf (fun s -> name_prefix ^ s) fmt in
   (* Replica machines. *)
   let replica_nodes =
     Array.init n (fun i ->
-        let cpu = Cpu.create engine ~name:(Printf.sprintf "replica%d" i) () in
-        Network.add_node network ~cpu ~recv_buffer
-          ~name:(Printf.sprintf "replica%d" i) ())
+        let name = node_name "replica%d" i in
+        let cpu = Cpu.create engine ~name () in
+        Network.add_node network ~cpu ~recv_buffer ~name ())
   in
   let replica_peers =
     Array.init n (fun i -> { Transport.principal = i; node = replica_nodes.(i) })
@@ -160,14 +181,9 @@ let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
   (* Client machines (the paper used 5, two of them 700 MHz). *)
   let client_machines =
     Array.init (Stdlib.max 1 client_machines) (fun i ->
-        let cpu =
-          Cpu.create engine ~speed:client_machine_speed
-            ~name:(Printf.sprintf "clientm%d" i) ()
-        in
-        let node =
-          Network.add_node network ~cpu ~recv_buffer
-            ~name:(Printf.sprintf "clientm%d" i) ()
-        in
+        let name = node_name "clientm%d" i in
+        let cpu = Cpu.create engine ~speed:client_machine_speed ~name () in
+        let node = Network.add_node network ~cpu ~recv_buffer ~name () in
         { cm_node = node; cm_dispatcher = Dispatcher.install network node })
   in
   let client_peers = Hashtbl.create 64 in
@@ -194,6 +210,8 @@ let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
     network;
     config;
     master;
+    name_prefix;
+    client_principal_base;
     root_rng;
     replicas;
     replica_peers;
@@ -206,7 +224,7 @@ let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
 let add_client t =
   let idx = t.next_client in
   t.next_client <- idx + 1;
-  let principal = t.config.Config.n + idx in
+  let principal = t.client_principal_base + idx in
   let machine = t.client_machines.(idx mod Array.length t.client_machines) in
   Hashtbl.replace t.client_peers principal
     { Transport.principal; node = machine.cm_node };

@@ -18,10 +18,23 @@ val create :
   ?behaviors:(Types.replica_id * Behavior.t) list ->
   ?recv_buffer:float ->
   ?trace:Bft_trace.Trace.t ->
+  ?network:Bft_net.Network.t ->
+  ?name_prefix:string ->
+  ?client_principal_base:int ->
+  ?master:string ->
   config:Config.t ->
   service:(Types.replica_id -> Service.t) ->
   unit ->
   t
+(** With [?network], the cluster joins an existing simulated network (and
+    its engine) instead of creating its own — how sharded deployments run
+    several independent replica groups on one simulation. In that mode the
+    caller owns the engine, calibration and trace wiring ([?cal] and
+    [?trace] are ignored), and should give each group a distinct
+    [name_prefix] (prepended to machine names and per-replica series
+    columns), [master] (key-derivation secret) and [client_principal_base]
+    (default [n]; client principals are [base + i], and must be unique
+    across groups for trace request ids to stay unambiguous). *)
 
 val engine : t -> Bft_sim.Engine.t
 

@@ -438,9 +438,14 @@ and send_reply t (r : Message.request) result ~tentative =
       if full then Message.Full_result result
       else Message.Result_digest (Payload.digest result)
     in
+    let reported_view =
+      match t.behavior with
+      | Behavior.Inflate_view k -> t.view + k
+      | _ -> t.view
+    in
     let reply =
       {
-        Message.view = t.view;
+        Message.view = reported_view;
         timestamp = r.Message.timestamp;
         client = r.Message.client;
         replica = t.id;

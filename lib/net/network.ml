@@ -42,6 +42,11 @@ type t = {
   mutable nodes : node array;
   mutable node_count : int;
   mutable faults : faults;
+  blocked_set : (int, unit) Hashtbl.t;
+      (* symmetric-pair index over [faults.blocked]: membership is O(1)
+         per (src, dst) instead of an O(pairs) list scan per datagram,
+         which matters once sharded topologies put dozens of hosts on one
+         switch *)
   mutable sent : int;
   mutable dropped : int;
   mutable delivered : int;
@@ -61,6 +66,7 @@ let create engine cal ~rng =
     nodes = [||];
     node_count = 0;
     faults = no_faults;
+    blocked_set = Hashtbl.create 64;
     sent = 0;
     dropped = 0;
     delivered = 0;
@@ -125,7 +131,22 @@ let set_up t id up = (get t id).up <- up
 
 let is_up t id = (get t id).up
 
-let set_faults t faults = t.faults <- faults
+(* Partitions are symmetric: a blocked pair cuts the link in both
+   directions, as a real switch or cable fault would. The pair is indexed
+   under a single order-independent key. *)
+let pair_key a b =
+  let lo = Stdlib.min a b and hi = Stdlib.max a b in
+  (hi lsl 24) lor lo
+
+let sync_blocked_set t =
+  Hashtbl.reset t.blocked_set;
+  List.iter
+    (fun (a, b) -> Hashtbl.replace t.blocked_set (pair_key a b) ())
+    t.faults.blocked
+
+let set_faults t faults =
+  t.faults <- faults;
+  sync_blocked_set t
 
 let set_node_up = set_up
 
@@ -137,10 +158,7 @@ let set_duplication t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Network.set_duplication";
   t.faults <- { t.faults with duplicate_probability = p }
 
-(* Partitions are symmetric: a blocked pair cuts the link in both
-   directions, as a real switch or cable fault would. *)
-let blocked t ~src ~dst =
-  List.mem (src, dst) t.faults.blocked || List.mem (dst, src) t.faults.blocked
+let blocked t ~src ~dst = Hashtbl.mem t.blocked_set (pair_key src dst)
 
 let install_partition t ~groups =
   List.iter
@@ -158,9 +176,12 @@ let install_partition t ~groups =
       cross rest
   in
   cross groups;
-  t.faults <- { t.faults with blocked = List.rev !pairs }
+  t.faults <- { t.faults with blocked = List.rev !pairs };
+  sync_blocked_set t
 
-let heal_partition t = t.faults <- { t.faults with blocked = [] }
+let heal_partition t =
+  t.faults <- { t.faults with blocked = [] };
+  Hashtbl.reset t.blocked_set
 
 let charge_recv t node size =
   Cpu.charge ~cat:Cpu.Decode node.cpu
@@ -231,14 +252,39 @@ let transmit t ~src ~dsts ~wire ~size =
     end;
     List.iter
       (fun dst ->
-        if dst = src then
-          (* Loopback skips the wire but still crosses the UDP stack. *)
-          Engine.schedule_at t.engine departure (fun () ->
-              t.delivered <- t.delivered + 1;
-              sender.counters.nc_delivered <- sender.counters.nc_delivered + 1;
-              Cpu.dispatch sender.cpu (fun () ->
-                  charge_recv t sender size;
-                  sender.handler ~src ~wire ~size))
+        if dst = src then begin
+          (* Loopback skips the wire (no switch hop, no ingress
+             serialization) but still crosses the UDP stack — and the same
+             fault model as the switched path: injected loss/duplication
+             apply, and a host that goes down before the datagram surfaces
+             keeps nothing. Only partitions are exempt: a blocked pair cuts
+             an inter-host link, and a host cannot be partitioned from
+             itself. *)
+          if unlucky t t.faults.drop_probability then
+            drop t sender ~id:src ~overflow:false ~why:"fault"
+          else begin
+            let deliver_local () =
+              Engine.schedule_at t.engine departure (fun () ->
+                  if sender.up then begin
+                    t.delivered <- t.delivered + 1;
+                    sender.counters.nc_delivered <-
+                      sender.counters.nc_delivered + 1;
+                    if Trace.enabled t.trace then
+                      Trace.emit t.trace
+                        ~vtime:(Engine.now t.engine)
+                        ~node:src
+                        ~detail:(Printf.sprintf "%s<-%d:%d" sender.name src size)
+                        Trace.Net_deliver;
+                    Cpu.dispatch sender.cpu (fun () ->
+                        charge_recv t sender size;
+                        sender.handler ~src ~wire ~size)
+                  end
+                  else drop t sender ~id:src ~overflow:false ~why:"down")
+            in
+            deliver_local ();
+            if unlucky t t.faults.duplicate_probability then deliver_local ()
+          end
+        end
         else if blocked t ~src ~dst then
           drop t (get t dst) ~id:dst ~overflow:false ~why:"blocked"
         else if unlucky t t.faults.drop_probability then

@@ -26,7 +26,9 @@ type faults = {
   duplicate_probability : float;
   blocked : (node_id * node_id) list;
       (** partitioned pairs; each pair cuts the link in {e both} directions
-          (a severed cable drops traffic both ways) *)
+          (a severed cable drops traffic both ways). Lookups go through a
+          hashed symmetric-pair index, so the per-datagram cost is O(1)
+          regardless of how many pairs a partition installs. *)
 }
 
 val no_faults : faults

@@ -1,0 +1,61 @@
+module Client = Bft_core.Client
+module Cluster = Bft_core.Cluster
+module Metrics = Bft_core.Metrics
+module Kv = Bft_services.Kv_store
+
+type t = {
+  router : Router.t;
+  clients : Client.t array;  (* one per group *)
+  started : int array;
+  completed : int array;
+  mutable busy : bool;
+}
+
+type outcome = {
+  group : int;
+  result : Kv.result;
+  raw : Client.outcome;
+}
+
+let create rig =
+  let groups = Rig.group_count rig in
+  {
+    router = Rig.router rig;
+    clients = Array.init groups (fun g -> Cluster.add_client (Rig.cluster rig g));
+    started = Array.make groups 0;
+    completed = Array.make groups 0;
+    busy = false;
+  }
+
+let key_of_op = function
+  | Kv.Get k | Kv.Put (k, _) | Kv.Delete k -> k
+  | Kv.Cas { key; _ } -> key
+
+let group_of_op t op = Router.group_of_key t.router (key_of_op op)
+
+let busy t = t.busy
+
+let invoke t op callback =
+  if t.busy then invalid_arg "Proxy.invoke: operation already outstanding";
+  let group = group_of_op t op in
+  t.busy <- true;
+  t.started.(group) <- t.started.(group) + 1;
+  Client.invoke t.clients.(group)
+    ~read_only:(Kv.is_read_only_op op)
+    (Kv.op_payload op)
+    (fun raw ->
+      t.busy <- false;
+      t.completed.(group) <- t.completed.(group) + 1;
+      callback
+        { group; result = Kv.result_of_payload raw.Client.result; raw })
+
+let started t = Array.copy t.started
+
+let completed t = Array.copy t.completed
+
+let total_completed t = Array.fold_left ( + ) 0 t.completed
+
+let retransmissions t =
+  Array.fold_left
+    (fun acc c -> acc + Metrics.count (Client.metrics c) "ops.retransmitted")
+    0 t.clients

@@ -1,0 +1,45 @@
+(** Shard-aware client: one logical KV client over a sharded deployment.
+
+    A proxy owns one BFT client process in every group of a {!Rig} and
+    routes each single-key operation to the group that owns the key
+    ({!Router.group_of_key}), so callers keep the familiar closed-loop
+    client shape — invoke, wait for the callback, invoke again — without
+    knowing the deployment is sharded. Per-group start/completion tallies
+    are kept so benchmarks can report how evenly the keyspace load spread.
+
+    Like the underlying {!Bft_core.Client}, a proxy drives one operation
+    at a time; create one proxy per simulated end user. *)
+
+type t
+
+type outcome = {
+  group : int;  (** group that owned the key *)
+  result : Bft_services.Kv_store.result;
+  raw : Bft_core.Client.outcome;  (** latency / retries / view *)
+}
+
+val create : Rig.t -> t
+(** Adds one client process to every group of the rig (placed on that
+    group's client machines round-robin, as {!Bft_core.Cluster.add_client}
+    does). *)
+
+val invoke : t -> Bft_services.Kv_store.op -> (outcome -> unit) -> unit
+(** Route the operation to the owning group and start it; the callback
+    fires exactly once, on completion. Get operations use the read-only
+    optimization. Raises [Invalid_argument] if an operation is already
+    outstanding on this proxy. *)
+
+val group_of_op : t -> Bft_services.Kv_store.op -> int
+(** Where {!invoke} would send this operation. *)
+
+val busy : t -> bool
+
+val started : t -> int array
+(** Per-group count of operations started through this proxy. *)
+
+val completed : t -> int array
+
+val total_completed : t -> int
+
+val retransmissions : t -> int
+(** Total client-side retransmissions, summed over the per-group clients. *)

@@ -1,0 +1,75 @@
+module Engine = Bft_sim.Engine
+module Cpu = Bft_sim.Cpu
+module Calibration = Bft_sim.Calibration
+module Network = Bft_net.Network
+module Cluster = Bft_core.Cluster
+module Config = Bft_core.Config
+module Rng = Bft_util.Rng
+
+type t = {
+  engine : Engine.t;
+  network : Network.t;
+  config : Config.t;
+  router : Router.t;
+  groups : Cluster.t array;
+  root_rng : Rng.t;
+}
+
+(* Client principals are [n + g * stride + i]; 4096 clients per group is
+   far beyond anything the bench sweeps, and the stride keeps trace request
+   ids (client principal << 40 | timestamp) unambiguous across groups. *)
+let principal_stride = 1 lsl 12
+
+let create ?(cal = Calibration.default) ?(seed = 42) ?client_machines
+    ?client_machine_speed ?recv_buffer ?(trace = Bft_trace.Trace.nil) ?slots
+    ~groups ~config ~service () =
+  if groups < 1 then invalid_arg "Rig.create: groups must be positive";
+  let root_rng = Rng.of_int seed in
+  let engine = Engine.create () in
+  Engine.set_trace engine trace;
+  let network = Network.create engine cal ~rng:(Rng.split root_rng "network") in
+  Network.set_trace network trace;
+  let router = Router.create ?slots ~groups () in
+  let n = config.Config.n in
+  let clusters =
+    Array.init groups (fun g ->
+        let label = Printf.sprintf "group%d" g in
+        Cluster.create ~network
+          ~seed:(Rng.int (Rng.split root_rng label) (1 lsl 30))
+          ?client_machines ?client_machine_speed ?recv_buffer
+          ~name_prefix:(Printf.sprintf "g%d/" g)
+          ~client_principal_base:(n + (g * principal_stride))
+          ~master:(Printf.sprintf "shard-master-%d-g%d" seed g)
+          ~config
+          ~service:(fun r -> service ~group:g r)
+          ())
+  in
+  { engine; network; config; router; groups = clusters; root_rng }
+
+let engine t = t.engine
+
+let network t = t.network
+
+let router t = t.router
+
+let config t = t.config
+
+let group_count t = Array.length t.groups
+
+let cluster t g = t.groups.(g)
+
+let clusters t = Array.copy t.groups
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+let now t = Engine.now t.engine
+
+let trace t = Network.trace t.network
+
+let rng t label = Rng.split t.root_rng label
+
+let profile t =
+  Bft_trace.Profile.make ~labels:Cpu.category_labels
+    (List.map
+       (fun (name, cpu) -> (name, Cpu.busy_seconds cpu, Cpu.total_busy cpu))
+       (Network.cpus t.network))

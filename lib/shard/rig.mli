@@ -1,0 +1,65 @@
+(** A sharded deployment: [groups] independent PBFT replica groups on one
+    simulated network and one virtual-time engine.
+
+    Each group is a full {!Bft_core.Cluster} — its own [3f+1] replica
+    machines, client machines, key-derivation master secret and client
+    principal range — but all machines hang off the same switch and all
+    events run on the same engine, so a run over the whole deployment is
+    still a single deterministic event loop: same seed, same trace, same
+    numbers, regardless of how many groups there are.
+
+    Groups do not talk to each other. Cross-group consistency is the
+    router's job ({!Router}): every key belongs to exactly one group, so
+    single-key operations need no cross-group protocol (the deployment
+    shards the keyspace, it does not replicate it across groups). *)
+
+type t
+
+val create :
+  ?cal:Bft_sim.Calibration.t ->
+  ?seed:int ->
+  ?client_machines:int ->
+  ?client_machine_speed:float ->
+  ?recv_buffer:float ->
+  ?trace:Bft_trace.Trace.t ->
+  ?slots:int ->
+  groups:int ->
+  config:Bft_core.Config.t ->
+  service:(group:int -> Bft_core.Types.replica_id -> Bft_core.Service.t) ->
+  unit ->
+  t
+(** Build the engine, the network, a {!Router.create} over [groups] groups,
+    and one cluster per group. Every group uses the same [config] (and so
+    the same [n]); [client_machines] and [client_machine_speed] apply per
+    group. [service] is called once per (group, replica) — each replica
+    needs its own instance. Group [g]'s machines are named ["g<g>/…"], its
+    seed is derived from [seed] by RNG splitting, and its client principals
+    start at [n + g * 4096] so request ids stay unique across groups. *)
+
+val engine : t -> Bft_sim.Engine.t
+
+val network : t -> Bft_net.Network.t
+
+val router : t -> Router.t
+
+val config : t -> Bft_core.Config.t
+
+val group_count : t -> int
+
+val cluster : t -> int -> Bft_core.Cluster.t
+(** The [g]-th replica group. *)
+
+val clusters : t -> Bft_core.Cluster.t array
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+val now : t -> float
+
+val trace : t -> Bft_trace.Trace.t
+
+val profile : t -> Bft_trace.Profile.t
+(** Per-machine CPU cost breakdown over every machine of every group
+    (balanced the same way {!Bft_core.Cluster.profile} is). *)
+
+val rng : t -> string -> Bft_util.Rng.t
+(** Derive a labelled RNG from the rig seed (for workloads). *)

@@ -1,0 +1,98 @@
+type t = { groups : int; mapping : int array }
+
+let default_slots = 64
+
+let create ?(slots = default_slots) ~groups () =
+  if groups < 1 then invalid_arg "Router.create: groups must be positive";
+  if slots < groups then invalid_arg "Router.create: need at least one slot per group";
+  { groups; mapping = Array.init slots (fun s -> s mod groups) }
+
+let of_mapping ~groups ~mapping =
+  if groups < 1 then invalid_arg "Router.of_mapping: groups must be positive";
+  if Array.length mapping = 0 then invalid_arg "Router.of_mapping: empty mapping";
+  Array.iter
+    (fun g ->
+      if g < 0 || g >= groups then
+        invalid_arg "Router.of_mapping: slot mapped outside [0, groups)")
+    mapping;
+  { groups; mapping = Array.copy mapping }
+
+let groups t = t.groups
+
+let slots t = Array.length t.mapping
+
+let mapping t = Array.copy t.mapping
+
+let extend t ~groups =
+  if groups < t.groups then
+    invalid_arg "Router.extend: cannot shrink the group count";
+  if groups = t.groups then t
+  else begin
+  let mapping = Array.copy t.mapping in
+  let counts = Array.make groups 0 in
+  Array.iter (fun g -> counts.(g) <- counts.(g) + 1) mapping;
+  (* Hand slots to the new groups round-robin, always stealing from the
+     currently most-loaded old group (lowest id breaks ties, so the result
+     is deterministic), until no new group is more than one slot behind.
+     Slots never move between pre-existing groups. *)
+  let donor () =
+    let best = ref 0 in
+    for g = 1 to t.groups - 1 do
+      if counts.(g) > counts.(!best) then best := g
+    done;
+    !best
+  in
+  let next_slot_of group =
+    (* last slot of [group] in mapping order: stealing from the tail keeps
+       the low slots (and thus most keys) where they were *)
+    let found = ref (-1) in
+    Array.iteri (fun s g -> if g = group then found := s) mapping;
+    !found
+  in
+  let continue = ref true in
+  while !continue do
+    let taker = ref t.groups in
+    for g = groups - 1 downto t.groups do
+      if counts.(g) <= counts.(!taker) then taker := g
+    done;
+    let from = donor () in
+    if counts.(from) > counts.(!taker) + 1 then begin
+      let s = next_slot_of from in
+      mapping.(s) <- !taker;
+      counts.(from) <- counts.(from) - 1;
+      counts.(!taker) <- counts.(!taker) + 1
+    end
+    else continue := false
+  done;
+  { groups; mapping }
+  end
+
+(* FNV-1a, 64-bit: tiny, seedless, and uniform enough that 64 slots split
+   uniform keys evenly. Seedless is the point — the owner of a key must
+   not depend on the experiment seed. *)
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let hash key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    key;
+  !h
+
+let slot_of_key t key =
+  Int64.to_int
+    (Int64.unsigned_rem (hash key) (Int64.of_int (Array.length t.mapping)))
+
+let group_of_key t key = t.mapping.(slot_of_key t key)
+
+let keys_per_group t ~keys =
+  let counts = Array.make t.groups 0 in
+  List.iter
+    (fun key ->
+      let g = group_of_key t key in
+      counts.(g) <- counts.(g) + 1)
+    keys;
+  counts

@@ -86,6 +86,33 @@ val bft_throughput :
 (** Clients spread over 5 client machines, closed loop, measured over
     [window] seconds after [warmup]. [trace] as in {!bft_latency}. *)
 
+type sharded_result = {
+  sh_ops_per_sec : float;  (** virtual time, summed over all groups *)
+  sh_completed : int;
+  sh_per_group : int array;  (** completions per group over the window *)
+  sh_stalled_clients : int;  (** proxies that made no progress *)
+  sh_retransmissions : int;
+  sh_drops_by_node : (string * int * int) list;
+}
+
+val sharded_throughput :
+  ?config:Bft_core.Config.t ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?window:float ->
+  ?trace:Bft_trace.Trace.t ->
+  ?key_space:int ->
+  groups:int ->
+  clients_per_group:int ->
+  unit ->
+  sharded_result
+(** Uniform-single-key KV writes against a sharded deployment
+    ({!Bft_shard.Rig} with [groups] replica groups on one simulation):
+    [groups * clients_per_group] closed-loop proxies each pick a uniform
+    key from [key_space] (default 4096) per op, so load spreads over the
+    groups in proportion to the slots they own. Same [warmup]/[window]
+    measurement as {!bft_throughput}. Every group runs [config]. *)
+
 val norep_throughput :
   ?seed:int ->
   ?warmup:float ->

@@ -26,11 +26,22 @@ type point = {
   pt_sim_rps : float;
 }
 
+type scale_point = {
+  sc_groups : int;
+  sc_clients : int;
+  sc_completed : int;
+  sc_retransmissions : int;
+  sc_per_group : int array;
+  sc_sim_rps : float;
+  sc_wall_s : float;
+}
+
 type t = {
   seed : int;
   quick : bool;
   micro : micro list;
   curve : point list;
+  scaling : scale_point list;
 }
 
 let micro_shapes = [ ("0/0", 0, 0); ("4/0", 4096, 0); ("0/4", 0, 4096) ]
@@ -38,7 +49,16 @@ let micro_shapes = [ ("0/0", 0, 0); ("4/0", 4096, 0); ("0/4", 0, 4096) ]
 let curve_clients ~quick =
   if quick then [ 1; 4; 12; 24 ] else [ 1; 2; 4; 8; 16; 24; 32; 48; 64 ]
 
-let run ?(quick = false) ?(seed = 42) () =
+(* Group counts swept by the scaling section: doublings up to [max_groups]
+   (1, 2, 4, ...). *)
+let scaling_groups ~max_groups =
+  let rec go g acc = if g > max_groups then List.rev acc else go (2 * g) (g :: acc) in
+  go 1 []
+
+let scaling_clients_per_group ~quick = if quick then 12 else 16
+
+let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) () =
+  if max_groups < 1 then invalid_arg "Saturation.run: max_groups must be positive";
   let ops = if quick then 60 else 200 in
   let micro =
     List.map
@@ -78,7 +98,35 @@ let run ?(quick = false) ?(seed = 42) () =
         })
       (curve_clients ~quick)
   in
-  { seed; quick; micro; curve }
+  (* Scaling out: the same uniform-key workload against 1, 2 and 4 replica
+     groups sharing one simulation. Unlike the curve's [pt_sim_rps], a
+     scaling row's [sc_sim_rps] is on the {e simulated} clock (requests
+     retired per simulated second): scaling out is a property of the
+     modelled system — more groups retire more requests in the same
+     simulated window — while the simulator's wall-clock rate stays flat
+     because it also has proportionally more events to process. The wall
+     cost is recorded separately in [sc_wall_s]. *)
+  let per_group = scaling_clients_per_group ~quick in
+  let scaling =
+    List.map
+      (fun groups ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Microbench.sharded_throughput ~seed ~window ~groups
+            ~clients_per_group:per_group ()
+        in
+        {
+          sc_groups = groups;
+          sc_clients = groups * per_group;
+          sc_completed = r.Microbench.sh_completed;
+          sc_retransmissions = r.Microbench.sh_retransmissions;
+          sc_per_group = r.Microbench.sh_per_group;
+          sc_sim_rps = r.Microbench.sh_ops_per_sec;
+          sc_wall_s = Unix.gettimeofday () -. t0;
+        })
+      (scaling_groups ~max_groups)
+  in
+  { seed; quick; micro; curve; scaling }
 
 let peak t =
   List.fold_left
@@ -99,6 +147,15 @@ let batched_sim_rps t =
   in
   if wall > 0.0 then float_of_int completed /. wall else 0.0
 
+(* Throughput ratio of the [groups]-group scaling row over the single-group
+   row (nan when either row is missing or degenerate) — the scale-out gate:
+   2 groups should be >= 1.7x. *)
+let scaling_speedup t ~groups =
+  let row g = List.find_opt (fun s -> s.sc_groups = g) t.scaling in
+  match (row 1, row groups) with
+  | Some base, Some s when base.sc_sim_rps > 0.0 -> s.sc_sim_rps /. base.sc_sim_rps
+  | _ -> nan
+
 (* Hand-rolled JSON: stable field order and fixed float formats, because
    the virtual part is compared byte-for-byte against a golden file. *)
 let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
@@ -112,6 +169,13 @@ let point_virtual_fields buf p =
   buf_addf buf
     "\"clients\":%d,\"ops_per_sec\":%.1f,\"completed\":%d,\"retransmissions\":%d"
     p.pt_clients p.pt_ops_per_sec p.pt_completed p.pt_retransmissions
+
+let scale_virtual_fields buf s =
+  buf_addf buf
+    "\"groups\":%d,\"clients\":%d,\"sim_rps\":%.1f,\"completed\":%d,\"retransmissions\":%d,\"per_group\":[%s]"
+    s.sc_groups s.sc_clients s.sc_sim_rps s.sc_completed s.sc_retransmissions
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int s.sc_per_group)))
 
 let json_list buf items emit =
   Buffer.add_char buf '[';
@@ -132,6 +196,8 @@ let virtual_json t =
   json_list buf t.micro micro_virtual_fields;
   Buffer.add_string buf ",\"saturation\":";
   json_list buf t.curve point_virtual_fields;
+  Buffer.add_string buf ",\"scaling\":";
+  json_list buf t.scaling scale_virtual_fields;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -152,6 +218,13 @@ let to_json t =
     buf_addf buf ",\"peak\":{\"clients\":%d,\"ops_per_sec\":%.1f}" p.pt_clients
       p.pt_ops_per_sec
   | None -> ());
+  Buffer.add_string buf ",\"scaling\":";
+  json_list buf t.scaling (fun buf s ->
+      scale_virtual_fields buf s;
+      buf_addf buf ",\"wall_s\":%.3f" s.sc_wall_s);
+  let speedup = scaling_speedup t ~groups:2 in
+  if not (Float.is_nan speedup) then
+    buf_addf buf ",\"scaling_speedup_2g\":%.2f" speedup;
   buf_addf buf ",\"batched_sim_rps\":%.0f}\n" (batched_sim_rps t);
   Buffer.contents buf
 
@@ -177,5 +250,22 @@ let print t =
     Printf.printf "peak: %.1f ops/s virtual at %d clients\n" p.pt_ops_per_sec
       p.pt_clients
   | None -> ());
+  Printf.printf "scaling out (uniform-key KV, %d clients/group):\n"
+    (scaling_clients_per_group ~quick:t.quick);
+  List.iter
+    (fun s ->
+      Printf.printf
+        "  %d group%s: %8.1f sim-req/s virtual  (%5d completed, %d retrans, \
+         per-group [%s])  [%.2fs wall]\n"
+        s.sc_groups
+        (if s.sc_groups = 1 then " " else "s")
+        s.sc_sim_rps s.sc_completed s.sc_retransmissions
+        (String.concat "; "
+           (Array.to_list (Array.map string_of_int s.sc_per_group)))
+        s.sc_wall_s)
+    t.scaling;
+  let speedup = scaling_speedup t ~groups:2 in
+  if not (Float.is_nan speedup) then
+    Printf.printf "2-group speedup over 1 group: %.2fx\n" speedup;
   Printf.printf "batched wall-clock throughput: %.0f simulated requests/s\n"
     (batched_sim_rps t)

@@ -27,17 +27,40 @@ type point = {
   pt_sim_rps : float;  (** completed / wall seconds *)
 }
 
+type scale_point = {
+  sc_groups : int;
+  sc_clients : int;  (** total closed-loop proxies (groups x per-group) *)
+  sc_completed : int;
+  sc_retransmissions : int;
+  sc_per_group : int array;  (** completions per group over the window *)
+  sc_sim_rps : float;
+      (** requests retired per {e simulated} second, summed over groups.
+          Scaling out is a property of the modelled system, so this row's
+          headline metric is on the virtual clock (deterministic, part of
+          the golden surface) — the simulator's wall-clock rate stays flat
+          as groups are added because the event count grows in step. *)
+  sc_wall_s : float;  (** wall clock *)
+}
+
 type t = {
   seed : int;
   quick : bool;
   micro : micro list;
   curve : point list;
+  scaling : scale_point list;
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> t
+val run : ?quick:bool -> ?seed:int -> ?max_groups:int -> unit -> t
+(** [max_groups] bounds the scaling sweep: group counts double from 1 up
+    to it (default 4, i.e. 1/2/4 groups). *)
 
 val peak : t -> point option
 (** Curve point with the highest virtual throughput. *)
+
+val scaling_speedup : t -> groups:int -> float
+(** [sc_sim_rps] of the [groups]-group scaling row over the 1-group row;
+    [nan] if either row is absent. The scale-out acceptance gate checks
+    [scaling_speedup t ~groups:2 >= 1.7]. *)
 
 val batched_sim_rps : t -> float
 (** Total simulated requests retired per real second across the whole

@@ -133,6 +133,28 @@ let injected_bug_caught_and_shrunk () =
       (Campaign.jsonl shrunk_outcome)
       (Campaign.jsonl replayed)
 
+(* Regression: loopback delivery once bypassed the receiver up check, so a
+   replica taken down by a chaos plan's crash action could still hand
+   datagrams to itself. Send a self-addressed datagram, crash the node (the
+   same mutation [Plan.Crash] executes) before the simulation runs, and the
+   delivery must be dropped. *)
+let crashed_node_keeps_nothing () =
+  let module Cluster = Bft_core.Cluster in
+  let module Network = Bft_net.Network in
+  let config = Bft_core.Config.make ~f:1 () in
+  let cluster =
+    Cluster.create ~config ~seed:3 ~service:(fun _ -> Bft_core.Service.null ()) ()
+  in
+  let net = Cluster.network cluster in
+  let node = Cluster.replica_node cluster 0 in
+  let got = ref 0 in
+  Network.set_handler net node (fun ~src:_ ~wire:_ ~size:_ -> incr got);
+  Network.send net ~src:node ~dst:node "self";
+  Cluster.crash_replica cluster 0;
+  Cluster.run ~until:0.1 cluster;
+  check Alcotest.int "no self-delivery on a crashed replica" 0 !got;
+  check Alcotest.bool "drop is counted" true (Network.dropped_datagrams net >= 1)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -144,6 +166,8 @@ let () =
         ] );
       ( "campaign",
         [
+          Alcotest.test_case "crashed node keeps nothing" `Quick
+            crashed_node_keeps_nothing;
           Alcotest.test_case "deterministic" `Slow campaign_deterministic;
           Alcotest.test_case "clean on correct protocol" `Slow clean_campaigns;
           Alcotest.test_case "injected bug caught and shrunk" `Slow

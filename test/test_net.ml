@@ -91,6 +91,49 @@ let test_down_node_drops () =
   Engine.run r.engine;
   check Alcotest.int "recovered" 1 (List.length !(r.received))
 
+(* Regression: loopback (src = dst) once bypassed the fault model entirely —
+   a self-addressed datagram was handed to the handler unconditionally, with
+   no up check, no loss/duplication draws, and no trace event. *)
+let test_loopback_faults () =
+  let r = make_rig () in
+  Network.set_loss r.net 1.0;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(0) "self";
+  Engine.run r.engine;
+  check Alcotest.int "loopback dropped at p=1" 0 (List.length !(r.received));
+  check Alcotest.int "drop counted" 1 (Network.dropped_datagrams r.net);
+  Network.set_loss r.net 0.0;
+  Network.set_duplication r.net 1.0;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(0) "self";
+  Engine.run r.engine;
+  check Alcotest.int "loopback duplicated" 2 (List.length !(r.received))
+
+let test_loopback_down_before_delivery () =
+  (* A host that goes down between send and delivery keeps nothing, even
+     from itself. *)
+  let r = make_rig () in
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(0) "self";
+  Network.set_up r.net r.nodes.(0) false;
+  Engine.run r.engine;
+  check Alcotest.int "no self-delivery on a down host" 0
+    (List.length !(r.received));
+  check Alcotest.int "counted as dropped" 1 (Network.dropped_datagrams r.net)
+
+let test_loopback_trace () =
+  let module Trace = Bft_trace.Trace in
+  let r = make_rig () in
+  let trace = Trace.create () in
+  Network.set_trace r.net trace;
+  Network.send r.net ~src:r.nodes.(0) ~dst:r.nodes.(0) "self";
+  Engine.run r.engine;
+  let delivers =
+    List.filter
+      (fun e -> e.Trace.kind = Trace.Net_deliver)
+      (Trace.events trace)
+  in
+  check Alcotest.int "loopback delivery traced" 1 (List.length delivers);
+  check Alcotest.int "on the loopback node" r.nodes.(0)
+    (List.hd delivers).Trace.node
+
 let test_drop_probability () =
   let r = make_rig () in
   Network.set_faults r.net
@@ -216,6 +259,10 @@ let () =
           Alcotest.test_case "multicast single egress" `Quick
             test_multicast_single_egress;
           Alcotest.test_case "loopback" `Quick test_loopback;
+          Alcotest.test_case "loopback faults" `Quick test_loopback_faults;
+          Alcotest.test_case "loopback down host" `Quick
+            test_loopback_down_before_delivery;
+          Alcotest.test_case "loopback trace" `Quick test_loopback_trace;
           Alcotest.test_case "down node" `Quick test_down_node_drops;
           Alcotest.test_case "drop probability" `Quick test_drop_probability;
           Alcotest.test_case "duplication" `Quick test_duplication;

@@ -123,6 +123,38 @@ let test_client_tracks_view_from_replies () =
   check Alcotest.bool "only replier-fallback retransmissions" true
     (Metrics.count (Client.metrics client) "ops.retransmitted" - before <= 3)
 
+let test_view_inflation_ignored () =
+  (* Regression: the client's acceptance check once took the max view over
+     all matching replies, so a single Byzantine replica replying honestly
+     but reporting an absurd view would inflate the client's view estimate
+     and steer every later request at a bogus primary. The accepted view
+     must come from the quorum — the (f+1)-th largest among the matching
+     replies — which at most f liars cannot move. *)
+  let rig =
+    Harness.make
+      ~behaviors:[ (1, Behavior.Inflate_view 1_000_000) ]
+      ~nclients:2 ()
+  in
+  let completed = ref 0 in
+  let max_view = ref 0 in
+  Array.iter
+    (fun client ->
+      let rec loop k =
+        if k > 0 then
+          Client.invoke client
+            (Service.null_op ~read_only:false ~arg_size:8 ~result_size:8)
+            (fun o ->
+              incr completed;
+              max_view := Stdlib.max !max_view o.Client.view;
+              loop (k - 1))
+      in
+      loop 10)
+    rig.Harness.clients;
+  Cluster.run ~until:30.0 rig.Harness.cluster;
+  check Alcotest.int "all complete" 20 !completed;
+  check Alcotest.int "accepted view untouched by the liar" 0 !max_view;
+  Harness.check_agreement rig
+
 let test_duplicate_datagrams_harmless () =
   let rig = Harness.make ~nclients:3 () in
   Bft_net.Network.set_faults
@@ -200,6 +232,8 @@ let () =
           Alcotest.test_case "f=3 with 3 faulty" `Quick test_f3_cluster;
           Alcotest.test_case "client view tracking" `Quick
             test_client_tracks_view_from_replies;
+          Alcotest.test_case "view inflation ignored" `Quick
+            test_view_inflation_ignored;
           Alcotest.test_case "duplicate datagrams" `Quick
             test_duplicate_datagrams_harmless;
           Alcotest.test_case "checkpoint divergence repair" `Quick

@@ -1,0 +1,226 @@
+(* Tests for the sharded multi-group deployment: router properties (total,
+   deterministic, stable under group growth), fault confinement between
+   groups sharing one simulation, and the sharded throughput driver. *)
+
+open Bft_core
+module Router = Bft_shard.Router
+module Rig = Bft_shard.Rig
+module Proxy = Bft_shard.Proxy
+module Kv = Bft_services.Kv_store
+
+let check = Alcotest.check
+
+(* --- router ----------------------------------------------------------- *)
+
+let router_total_prop =
+  QCheck.Test.make ~name:"router is total and in range" ~count:500
+    QCheck.(pair (int_range 1 8) string)
+    (fun (groups, key) ->
+      let r = Router.create ~groups () in
+      let g = Router.group_of_key r key in
+      0 <= g && g < groups)
+
+let router_deterministic_prop =
+  (* The owner of a key is a pure function of the key and the mapping —
+     independently built routers (and a mapping round-trip) always agree,
+     and nothing about the experiment seed can perturb it. *)
+  QCheck.Test.make ~name:"router is deterministic across instances" ~count:500
+    QCheck.(pair (int_range 1 8) string)
+    (fun (groups, key) ->
+      let a = Router.create ~groups () in
+      let b = Router.create ~groups () in
+      let c = Router.of_mapping ~groups ~mapping:(Router.mapping a) in
+      Router.group_of_key a key = Router.group_of_key b key
+      && Router.group_of_key a key = Router.group_of_key c key)
+
+let router_extend_stability_prop =
+  (* Growing the deployment may move a key only to a brand-new group:
+     traffic never reshuffles between pre-existing groups. *)
+  QCheck.Test.make ~name:"extend moves keys only to new groups" ~count:500
+    QCheck.(triple (int_range 1 4) (int_range 0 4) string)
+    (fun (groups, extra, key) ->
+      let r = Router.create ~groups () in
+      let r' = Router.extend r ~groups:(groups + extra) in
+      let before = Router.group_of_key r key in
+      let after = Router.group_of_key r' key in
+      after = before || after >= groups)
+
+let test_router_balance () =
+  (* Slot counts stay within one of each other after create and extend. *)
+  let spread router =
+    let counts = Array.make (Router.groups router) 0 in
+    Array.iter (fun g -> counts.(g) <- counts.(g) + 1) (Router.mapping router);
+    Array.fold_left Stdlib.max 0 counts - Array.fold_left Stdlib.min max_int counts
+  in
+  List.iter
+    (fun groups ->
+      check Alcotest.bool
+        (Printf.sprintf "create %d groups balanced" groups)
+        true
+        (spread (Router.create ~groups ()) <= 1))
+    [ 1; 2; 3; 4; 5; 7; 8 ];
+  List.iter
+    (fun (from_g, to_g) ->
+      let r = Router.extend (Router.create ~groups:from_g ()) ~groups:to_g in
+      check Alcotest.bool
+        (Printf.sprintf "extend %d->%d balanced" from_g to_g)
+        true (spread r <= 1))
+    [ (1, 2); (1, 4); (2, 3); (2, 5); (3, 8); (4, 4) ]
+
+let test_router_validation () =
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check Alcotest.bool "zero groups rejected" true
+    (raises (fun () -> Router.create ~groups:0 ()));
+  check Alcotest.bool "more groups than slots rejected" true
+    (raises (fun () -> Router.create ~slots:4 ~groups:5 ()));
+  check Alcotest.bool "mapping out of range rejected" true
+    (raises (fun () -> Router.of_mapping ~groups:2 ~mapping:[| 0; 2 |]));
+  check Alcotest.bool "shrink rejected" true
+    (raises (fun () -> Router.extend (Router.create ~groups:3 ()) ~groups:2))
+
+let test_router_key_tally () =
+  let r = Router.create ~groups:3 () in
+  let keys = List.init 300 (fun i -> Printf.sprintf "key-%d" i) in
+  let counts = Router.keys_per_group r ~keys in
+  check Alcotest.int "tally conserves keys" 300 (Array.fold_left ( + ) 0 counts);
+  Array.iteri
+    (fun g c ->
+      check Alcotest.bool (Printf.sprintf "group %d owns some keys" g) true (c > 0))
+    counts
+
+(* --- fault confinement ------------------------------------------------ *)
+
+(* Same check as Harness.check_agreement, per group: correct replicas of one
+   group never execute different batches at the same sequence number. *)
+let check_group_agreement cluster =
+  let table = Hashtbl.create 64 in
+  Cluster.correct_replicas cluster
+  |> List.iter (fun r ->
+         List.iter
+           (fun (seq, digest) ->
+             match Hashtbl.find_opt table seq with
+             | None -> Hashtbl.replace table seq digest
+             | Some d ->
+               if not (Bft_crypto.Fingerprint.equal d digest) then
+                 Alcotest.failf "agreement violated at seq %d" seq)
+           (Replica.executed_digests r))
+
+let test_fault_confinement () =
+  (* Crash group 0's primary mid-run: group 0 must recover via view change
+     while group 1 — same switch, same engine — never notices: every op
+     completes and no replica of group 1 leaves view 0. *)
+  let config = Config.make ~f:1 () in
+  let rig =
+    Rig.create ~seed:7 ~groups:2 ~config
+      ~service:(fun ~group:_ _ -> Kv.service ())
+      ()
+  in
+  let c0 = Rig.cluster rig 0 and c1 = Rig.cluster rig 1 in
+  (* Early enough that most of the workload is still pending — 20 sequential
+     ops span a few virtual milliseconds. *)
+  Bft_sim.Engine.schedule (Rig.engine rig) ~delay:0.002 (fun () ->
+      Cluster.crash_replica c0 0);
+  let drive cluster count =
+    let client = Cluster.add_client cluster in
+    let completed = ref 0 in
+    let rec loop k =
+      if k > 0 then
+        Client.invoke client
+          (Kv.op_payload (Kv.Put (Printf.sprintf "k%d" k, "v")))
+          (fun _ ->
+            incr completed;
+            loop (k - 1))
+    in
+    loop count;
+    completed
+  in
+  let d0 = drive c0 20 and d1 = drive c1 20 in
+  Rig.run ~until:30.0 rig;
+  check Alcotest.int "group 1 unaffected: all ops complete" 20 !d1;
+  Array.iter
+    (fun r -> check Alcotest.int "group 1 stays in view 0" 0 (Replica.view r))
+    (Cluster.replicas c1);
+  check Alcotest.int "group 0 recovers and completes" 20 !d0;
+  check Alcotest.bool "group 0 went through a view change" true
+    (Array.exists (fun r -> Replica.view r > 0) (Cluster.replicas c0));
+  check_group_agreement c0;
+  check_group_agreement c1;
+  check Alcotest.bool "shared profiler stays balanced" true
+    (Bft_trace.Profile.balanced (Rig.profile rig))
+
+let test_proxy_routing () =
+  (* The proxy sends each op to the group the router names, and tallies it
+     there. *)
+  let config = Config.make ~f:1 () in
+  let rig =
+    Rig.create ~seed:11 ~groups:2 ~config
+      ~service:(fun ~group:_ _ -> Kv.service ())
+      ()
+  in
+  let proxy = Proxy.create rig in
+  let keys = List.init 12 (fun i -> Printf.sprintf "route-%d" i) in
+  let expect = Router.keys_per_group (Rig.router rig) ~keys in
+  let rec go = function
+    | [] -> ()
+    | key :: rest ->
+      let g = Proxy.group_of_op proxy (Kv.Get key) in
+      check Alcotest.int
+        (Printf.sprintf "router owns %s" key)
+        (Router.group_of_key (Rig.router rig) key)
+        g;
+      Proxy.invoke proxy
+        (Kv.Put (key, "v"))
+        (fun outcome ->
+          check Alcotest.int "outcome carries the owning group" g outcome.Proxy.group;
+          go rest)
+  in
+  go keys;
+  Rig.run ~until:30.0 rig;
+  check Alcotest.int "all routed ops completed" 12 (Proxy.total_completed proxy);
+  Array.iteri
+    (fun g c ->
+      check Alcotest.int
+        (Printf.sprintf "group %d tally" g)
+        c
+        (Proxy.completed proxy).(g))
+    expect
+
+(* --- sharded throughput driver ---------------------------------------- *)
+
+let test_sharded_throughput_deterministic () =
+  let module Microbench = Bft_workloads.Microbench in
+  let run () =
+    Microbench.sharded_throughput ~seed:5 ~warmup:0.2 ~window:0.2 ~groups:2
+      ~clients_per_group:4 ()
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "same completions" a.Microbench.sh_completed
+    b.Microbench.sh_completed;
+  check
+    Alcotest.(array int)
+    "same per-group split" a.Microbench.sh_per_group b.Microbench.sh_per_group;
+  check Alcotest.bool "both groups made progress" true
+    (Array.for_all (fun c -> c > 0) a.Microbench.sh_per_group);
+  check Alcotest.int "no stalled proxies" 0 a.Microbench.sh_stalled_clients
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20010701 |]) in
+  Alcotest.run "shard"
+    [
+      ( "router",
+        [
+          q router_total_prop;
+          q router_deterministic_prop;
+          q router_extend_stability_prop;
+          Alcotest.test_case "balance" `Quick test_router_balance;
+          Alcotest.test_case "validation" `Quick test_router_validation;
+          Alcotest.test_case "key tally" `Quick test_router_key_tally;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "fault confinement" `Quick test_fault_confinement;
+          Alcotest.test_case "proxy routing" `Quick test_proxy_routing;
+          Alcotest.test_case "sharded throughput deterministic" `Quick
+            test_sharded_throughput_deterministic;
+        ] );
+    ]
