@@ -45,6 +45,35 @@ let dump_trace trace path =
 
 let print_sections sections = List.iter Report.print sections
 
+let backend_conv =
+  Arg.enum
+    [ ("bfs", Bft_workloads.Nfs_rig.Bfs);
+      ("norep", Bft_workloads.Nfs_rig.Norep_fs);
+      ("nfs-std", Bft_workloads.Nfs_rig.Nfs_std_fs) ]
+
+(* Shared by chaos and monitor: parse + validate a chaos plan file. *)
+let read_plan_file ~n file =
+  let module Plan = Bft_chaos.Plan in
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "bft_lab: %s\n" msg;
+      exit 2
+  in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Plan.of_string s with
+  | Error msg ->
+    Printf.eprintf "bft_lab: %s: %s\n" file msg;
+    exit 2
+  | Ok plan -> (
+    match Plan.validate ~n plan with
+    | Error msg ->
+      Printf.eprintf "bft_lab: %s: %s\n" file msg;
+      exit 2
+    | Ok () -> plan)
+
 let figure_cmd name summary (run : ?quick:bool -> unit -> Report.section list) =
   let doc = summary in
   Cmd.v (Cmd.info name ~doc)
@@ -97,8 +126,18 @@ let throughput_cmd =
              apply).")
   in
   let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only ops.") in
-  let run arg res clients groups read_only trace_out trace_cap =
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Attach an always-on health monitor (per group) and print its \
+             summary after the run. Observation is pure: the measured \
+             numbers do not change.")
+  in
+  let run arg res clients groups read_only health trace_out trace_cap =
     let module Trace = Bft_trace.Trace in
+    let module Monitor = Bft_trace.Monitor in
     let trace =
       match trace_out with
       | Some _ -> Trace.create ~capacity:trace_cap ()
@@ -111,9 +150,17 @@ let throughput_cmd =
             host dropped overflowed)
         t
     in
+    let print_alerts alerts =
+      List.iter
+        (fun a -> Printf.printf "  alert: %s\n" (Monitor.alert_detail a))
+        alerts
+    in
     if groups > 1 then begin
       let clients_per_group = Stdlib.max 1 (clients / groups) in
-      let t = Microbench.sharded_throughput ~trace ~groups ~clients_per_group () in
+      let t =
+        Microbench.sharded_throughput ~trace ~health ~groups ~clients_per_group
+          ()
+      in
       Printf.printf
         "BFT sharded KV, %d groups x %d proxies: %.0f ops/s (%d completed, %d \
          retransmissions)\n"
@@ -122,22 +169,41 @@ let throughput_cmd =
       Array.iteri
         (fun g c -> Printf.printf "  group %d: %d completed\n" g c)
         t.Microbench.sh_per_group;
-      drops t.Microbench.sh_drops_by_node
+      drops t.Microbench.sh_drops_by_node;
+      if health then begin
+        Array.iter
+          (fun m ->
+            Printf.printf "  health %s\n" (Monitor.summary m);
+            print_alerts (Monitor.alerts m))
+          t.Microbench.sh_monitors;
+        print_endline
+          (Bft_shard.Rig.rollup_line
+             (Bft_shard.Rig.health_rollup t.Microbench.sh_monitors))
+      end
     end
     else begin
-      let t = Microbench.bft_throughput ~trace ~arg ~res ~read_only ~clients () in
+      let monitor = if health then Some (Monitor.create ()) else None in
+      let t =
+        Microbench.bft_throughput ~trace ?monitor ~arg ~res ~read_only ~clients
+          ()
+      in
       Printf.printf
         "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
         arg res clients t.Microbench.ops_per_sec t.Microbench.completed
         t.Microbench.retransmissions;
-      drops t.Microbench.drops_by_node
+      drops t.Microbench.drops_by_node;
+      Option.iter
+        (fun m ->
+          Printf.printf "health: %s\n" (Monitor.summary m);
+          print_alerts (Monitor.alerts m))
+        monitor
     end;
     Option.iter (dump_trace trace) trace_out
   in
   Cmd.v
     (Cmd.info "throughput" ~doc)
     Term.(
-      const run $ arg_size $ res_size $ clients $ groups $ read_only
+      const run $ arg_size $ res_size $ clients $ groups $ read_only $ health
       $ trace_out_arg () $ trace_cap_arg)
 
 let trace_cmd =
@@ -295,28 +361,96 @@ let profile_cmd =
       const run $ arg_size $ res_size $ ops $ seed $ read_only $ trace_out_arg ()
       $ trace_cap_arg)
 
+(* Shared by andrew and postmark: phase table, CPU profile attribution and
+   health summary of an observed file-system run. *)
+let print_observed (ob : E_fs.observed) =
+  let module Monitor = Bft_trace.Monitor in
+  if ob.E_fs.ob_phases <> [] then begin
+    print_endline "phases:";
+    List.iter
+      (fun (name, t) -> Printf.printf "  %-14s %8.2f s\n" name t)
+      ob.E_fs.ob_phases
+  end;
+  print_newline ();
+  Report.print (Report.profile_section ob.E_fs.ob_profile);
+  Printf.printf "\nhealth: %s\n" (Monitor.summary ob.E_fs.ob_monitor);
+  List.iter
+    (fun a -> Printf.printf "  alert: %s\n" (Monitor.alert_detail a))
+    (Monitor.alerts ob.E_fs.ob_monitor);
+  if not (Bft_trace.Profile.balanced ob.E_fs.ob_profile) then begin
+    prerr_endline
+      "profile balance: FAILED — category totals do not sum to busy time";
+    exit 1
+  end
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Observed run: also print the per-phase breakdown, the per-machine \
+           CPU cost attribution, and the health-monitor summary. The \
+           benchmark numbers are identical to an unobserved run.")
+
 let andrew_cmd =
   let doc = "Run the modified Andrew benchmark on one backend." in
   let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of tree copies.") in
   let backend =
-    let backend_conv =
-      Arg.enum
-        [ ("bfs", Bft_workloads.Nfs_rig.Bfs);
-          ("norep", Bft_workloads.Nfs_rig.Norep_fs);
-          ("nfs-std", Bft_workloads.Nfs_rig.Nfs_std_fs) ]
-    in
     Arg.(
       value
       & opt backend_conv Bft_workloads.Nfs_rig.Bfs
       & info [ "backend" ] ~doc:"Backend.")
   in
-  let run n backend =
-    let elapsed, calls = E_fs.run_andrew ~n backend in
-    Printf.printf "Andrew%d on %s: %.1f s elapsed, %d NFS calls\n" n
-      (Bft_workloads.Nfs_rig.backend_name backend)
-      elapsed calls
+  let run n backend profile =
+    if profile then begin
+      let ob = E_fs.observe_andrew ~n backend in
+      Printf.printf "Andrew%d on %s: %.1f s elapsed, %d NFS calls\n" n
+        (Bft_workloads.Nfs_rig.backend_name backend)
+        ob.E_fs.ob_elapsed ob.E_fs.ob_calls;
+      print_observed ob
+    end
+    else begin
+      let elapsed, calls = E_fs.run_andrew ~n backend in
+      Printf.printf "Andrew%d on %s: %.1f s elapsed, %d NFS calls\n" n
+        (Bft_workloads.Nfs_rig.backend_name backend)
+        elapsed calls
+    end
   in
-  Cmd.v (Cmd.info "andrew" ~doc) Term.(const run $ n $ backend)
+  Cmd.v (Cmd.info "andrew" ~doc) Term.(const run $ n $ backend $ profile_flag)
+
+let postmark_cmd =
+  let doc = "Run the PostMark benchmark on one backend." in
+  let files =
+    Arg.(value & opt int 1000 & info [ "files" ] ~doc:"Initial file count.")
+  in
+  let transactions =
+    Arg.(value & opt int 5000 & info [ "transactions" ] ~doc:"Transactions.")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Bft_workloads.Nfs_rig.Bfs
+      & info [ "backend" ] ~doc:"Backend.")
+  in
+  let run files transactions backend profile =
+    let line backend elapsed txns =
+      Printf.printf "PostMark on %s: %.1f s elapsed, %d transactions (%.0f txn/s)\n"
+        (Bft_workloads.Nfs_rig.backend_name backend)
+        elapsed txns
+        (float_of_int txns /. elapsed)
+    in
+    if profile then begin
+      let ob, txns = E_fs.observe_postmark ~files ~transactions backend in
+      line backend ob.E_fs.ob_elapsed txns;
+      print_observed ob
+    end
+    else begin
+      let elapsed, txns = E_fs.run_postmark ~files ~transactions backend in
+      line backend elapsed txns
+    end
+  in
+  Cmd.v (Cmd.info "postmark" ~doc)
+    Term.(const run $ files $ transactions $ backend $ profile_flag)
 
 let chaos_cmd =
   let doc =
@@ -362,31 +496,24 @@ let chaos_cmd =
              treats prepared batches as committed, to prove the checker \
              catches (and shrinks) real safety violations.")
   in
-  let n_replicas = 4 in
-  let read_plan file =
-    let ic =
-      try open_in file
-      with Sys_error msg ->
-        Printf.eprintf "bft_lab chaos: %s\n" msg;
-        exit 2
-    in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    match Plan.of_string s with
-    | Error msg ->
-      Printf.eprintf "bft_lab chaos: %s: %s\n" file msg;
-      exit 2
-    | Ok plan -> (
-      match Plan.validate ~n:n_replicas plan with
-      | Error msg ->
-        Printf.eprintf "bft_lab chaos: %s: %s\n" file msg;
-        exit 2
-      | Ok () -> plan)
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Print each campaign's health-monitor summary to stderr (the \
+             typed alerts are always part of the JSON line).")
   in
-  let run seed campaigns plan_file horizon shrunk_out unsafe trace_out trace_cap =
+  let n_replicas = 4 in
+  let run seed campaigns plan_file horizon shrunk_out unsafe health trace_out
+      trace_cap =
+    let module Monitor = Bft_trace.Monitor in
     let run_plan ~seed plan =
-      Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan ()
+      let o = Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan () in
+      if health then
+        Printf.eprintf "health (seed %d): %s\n" seed
+          (Monitor.summary o.Campaign.monitor);
+      o
     in
     let report_failure ~campaign ~seed outcome =
       let shrunk, shrunk_outcome =
@@ -436,7 +563,7 @@ let chaos_cmd =
     in
     match plan_file with
     | Some file ->
-      let plan = read_plan file in
+      let plan = read_plan_file ~n:n_replicas file in
       let outcome = run_plan ~seed plan in
       print_endline (Campaign.jsonl outcome);
       if Campaign.failed outcome then report_failure ~campaign:0 ~seed outcome
@@ -465,7 +592,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe
-      $ trace_out $ trace_cap_arg)
+      $ health $ trace_out $ trace_cap_arg)
 
 let bench_cmd =
   let doc =
@@ -515,9 +642,24 @@ let bench_cmd =
           ~doc:"Write the virtual-time results to this golden file."
           ~docv:"FILE")
   in
-  let run quick seed groups json_out golden write_golden =
-    let t = Saturation.run ~quick ~seed ~max_groups:groups () in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Run every bench under an always-on health monitor and print \
+             the per-bench summaries. Virtual-time results — and so the \
+             golden comparison — are byte-identical either way.")
+  in
+  let run quick seed groups health json_out golden write_golden =
+    let t = Saturation.run ~quick ~seed ~max_groups:groups ~health () in
     Saturation.print t;
+    if health && Saturation.health_alerts t > 0 then begin
+      Printf.eprintf
+        "bft_lab bench: %d health alert(s) during a healthy bench run\n"
+        (Saturation.health_alerts t);
+      exit 1
+    end;
     let write path contents =
       let oc =
         try open_out path
@@ -557,7 +699,116 @@ let bench_cmd =
       end
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ quick $ seed $ groups $ json_out $ golden $ write_golden)
+    Term.(
+      const run $ quick $ seed $ groups $ health $ json_out $ golden
+      $ write_golden)
+
+let monitor_cmd =
+  let doc =
+    "Live health monitoring: run a seeded, deterministic campaign under the \
+     always-on monitor — healthy by default, with a crashed primary \
+     ($(b,--crash-primary)), or against a chaos plan file ($(b,--plan)) — \
+     print the gauges summary and every typed alert, and optionally write \
+     the flight recorder's post-mortem bundle (replayable JSONL: the \
+     header's seed and plan pin down the whole run)."
+  in
+  let module Plan = Bft_chaos.Plan in
+  let module Campaign = Bft_chaos.Campaign in
+  let module Monitor = Bft_trace.Monitor in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let crash_primary =
+    Arg.(
+      value & flag
+      & info [ "crash-primary" ]
+          ~doc:
+            "Crash replica 0 (the view-0 primary) one virtual second in: \
+             the stalled-commit and silent-leader detectors must fire \
+             before the 0.25 s view-change timeout recovers the group.")
+  in
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ]
+          ~doc:"Run this chaos plan (overrides $(b,--crash-primary))."
+          ~docv:"FILE")
+  in
+  let bundle_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundle-out" ]
+          ~doc:"Write the newest post-mortem bundle as JSONL to $(docv)."
+          ~docv:"FILE")
+  in
+  let fail_on_alert =
+    Arg.(
+      value & flag
+      & info [ "fail-on-alert" ]
+          ~doc:"Exit non-zero if any alert fired (healthy-run smoke).")
+  in
+  let require_alert =
+    Arg.(
+      value & flag
+      & info [ "require-alert" ]
+          ~doc:"Exit non-zero if no alert fired (detector smoke).")
+  in
+  let jsonl =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ] ~doc:"Also print the campaign's JSON line (stdout).")
+  in
+  let run seed crash_primary plan_file bundle_out fail_on_alert require_alert
+      jsonl =
+    let plan =
+      match plan_file with
+      | Some file -> read_plan_file ~n:4 file
+      | None ->
+        if crash_primary then [ { Plan.at = 1.0; action = Plan.Crash 0 } ]
+        else []
+    in
+    let o = Campaign.run ~seed ~plan () in
+    Printf.printf
+      "campaign seed %d, %d plan event(s): %d/%d ops, final view %d, %.2f s \
+       virtual, %d violation(s)\n"
+      seed (List.length plan) o.Campaign.ops_completed o.Campaign.ops_total
+      o.Campaign.final_view o.Campaign.sim_time
+      (List.length o.Campaign.violations);
+    List.iter
+      (fun v ->
+        Printf.printf "violation: %s: %s\n" v.Campaign.invariant
+          v.Campaign.detail)
+      o.Campaign.violations;
+    List.iter
+      (fun a -> Printf.printf "alert: %s\n" (Monitor.alert_detail a))
+      o.Campaign.alerts;
+    Printf.printf "health: %s\n" (Monitor.summary o.Campaign.monitor);
+    if jsonl then print_endline (Campaign.jsonl o);
+    (match bundle_out with
+    | None -> ()
+    | Some path -> (
+      match Monitor.last_bundle o.Campaign.monitor with
+      | Some bundle ->
+        write_file path bundle;
+        Printf.printf
+          "wrote post-mortem bundle to %s (%d bundle(s) dumped during the run)\n"
+          path
+          (Monitor.bundle_count o.Campaign.monitor)
+      | None -> Printf.printf "no post-mortem bundle (no alerts, no violations)\n"));
+    if o.Campaign.violations <> [] then exit 1;
+    if fail_on_alert && o.Campaign.alerts <> [] then begin
+      prerr_endline "bft_lab monitor: alerts fired (--fail-on-alert)";
+      exit 1
+    end;
+    if require_alert && o.Campaign.alerts = [] then begin
+      prerr_endline "bft_lab monitor: no alert fired (--require-alert)";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "monitor" ~doc)
+    Term.(
+      const run $ seed $ crash_primary $ plan_file $ bundle_out $ fail_on_alert
+      $ require_alert $ jsonl)
 
 let all_cmd =
   let doc = "Run every figure (the full benchmark suite)." in
@@ -589,7 +840,9 @@ let cmds =
     bench_cmd;
     trace_cmd;
     profile_cmd;
+    monitor_cmd;
     andrew_cmd;
+    postmark_cmd;
     chaos_cmd;
     all_cmd;
   ]

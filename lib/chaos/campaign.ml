@@ -2,6 +2,7 @@ module Engine = Bft_sim.Engine
 module Network = Bft_net.Network
 module Rng = Bft_util.Rng
 module Fingerprint = Bft_crypto.Fingerprint
+module Monitor = Bft_trace.Monitor
 open Bft_core
 
 type violation = { invariant : string; detail : string }
@@ -15,6 +16,8 @@ type outcome = {
   views_after_heal : int;
   sim_time : float;
   violations : violation list;
+  alerts : Monitor.alert list;
+  monitor : Monitor.t;
 }
 
 let failed o = o.violations <> []
@@ -92,8 +95,14 @@ let audit_replies replicas audited =
     audited;
   List.rev !violations
 
+let plan_text plan =
+  String.concat "; "
+    (List.map
+       (fun e -> Format.asprintf "%.6f %a" e.Plan.at Plan.pp_action e.Plan.action)
+       plan)
+
 let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
-    ~seed ~plan () =
+    ?limits ?on_bundle ~seed ~plan () =
   let config =
     Config.make ~f ~checkpoint_interval:8 ~log_window:16
       ~unsafe_no_commit_quorum ()
@@ -107,6 +116,20 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
   let engine = Cluster.engine cluster in
   let network = Cluster.network cluster in
   let horizon = Stdlib.max 3.0 (Plan.duration plan +. 1.0) in
+  (* Always-on health monitor: its gauge scrapes are pure reads, so the
+     campaign's outcome is byte-identical with or without it. The bundle
+     header carries (seed, plan), which is all it takes to replay. *)
+  let monitor = Monitor.create ?limits () in
+  Monitor.set_meta monitor
+    [
+      ("campaign.seed", string_of_int seed);
+      ("campaign.f", string_of_int f);
+      ("campaign.plan", plan_text plan);
+    ];
+  Monitor.set_flight_recorder ~trace
+    ~profile:(fun () -> Cluster.profile cluster)
+    ?on_bundle monitor ();
+  Cluster.attach_monitor cluster monitor;
   let camp_rng = Cluster.rng cluster "campaign" in
   let payload = Bft_services.Counter.op_payload (Bft_services.Counter.Add ("shared", 1)) in
   (* workload *)
@@ -242,6 +265,13 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
               views_after_heal max_views_after_heal;
         };
       ];
+  (* An invariant violation is an external post-mortem trigger: dump a
+     bundle even if no detector fired (safety bugs can be silent). *)
+  (match !violations with
+  | [] -> ()
+  | v :: _ ->
+    Monitor.trigger monitor ~at:(Cluster.now cluster)
+      ~reason:(v.invariant ^ ": " ^ v.detail));
   {
     seed;
     plan;
@@ -251,6 +281,8 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
     views_after_heal;
     sim_time = Cluster.now cluster;
     violations = !violations;
+    alerts = Monitor.alerts monitor;
+    monitor;
   }
 
 (* --- reporting --- *)
@@ -283,6 +315,12 @@ let jsonl ?(campaign = 0) ?trace_path o =
       Printf.bprintf b "{\"invariant\":\"%s\",\"detail\":\"%s\"}" (escape v.invariant)
         (escape v.detail))
     o.violations;
+  Buffer.add_string b "],\"alerts\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Monitor.alert_json a))
+    o.alerts;
   Buffer.add_string b "],\"plan\":[";
   List.iteri
     (fun i e ->

@@ -29,6 +29,12 @@ type outcome = {
   views_after_heal : int;  (** view-change rounds consumed after forced heal *)
   sim_time : float;  (** virtual seconds until the campaign settled *)
   violations : violation list;
+  alerts : Bft_trace.Monitor.alert list;
+      (** typed health alerts raised by the always-on monitor, oldest
+          first *)
+  monitor : Bft_trace.Monitor.t;
+      (** the campaign's monitor, for SLO sketches, {!Bft_trace.Monitor.summary}
+          and {!Bft_trace.Monitor.last_bundle} *)
 }
 
 val failed : outcome -> bool
@@ -36,6 +42,8 @@ val failed : outcome -> bool
 val run :
   ?unsafe_no_commit_quorum:bool ->
   ?trace:Bft_trace.Trace.t ->
+  ?limits:Bft_trace.Monitor.limits ->
+  ?on_bundle:(Bft_trace.Monitor.alert option -> string -> unit) ->
   seed:int ->
   plan:Plan.t ->
   unit ->
@@ -43,7 +51,17 @@ val run :
 (** Runs entirely in virtual time; [unsafe_no_commit_quorum] is the
     deliberately unsound protocol variant used to self-test the checker
     ({!Bft_core.Config.t}). Pass a live [trace] to record the campaign's
-    protocol trace — used to make shrunk failures inspectable. *)
+    protocol trace — used to make shrunk failures inspectable.
+
+    Every campaign runs with an always-on health monitor attached
+    ({!Bft_trace.Monitor}): detector thresholds come from [limits]
+    (default {!Bft_trace.Monitor.default_limits}), its flight recorder is
+    armed with the campaign's trace, profile and (seed, plan) metadata —
+    making every bundle replayable on its own — and any invariant
+    violation triggers a post-mortem dump even when no detector fired.
+    [on_bundle] observes each bundle as it is dumped (e.g. to stream it to
+    disk). Monitoring is pure observation: outcomes are byte-identical
+    with default and custom limits as far as protocol fields go. *)
 
 val jsonl : ?campaign:int -> ?trace_path:string -> outcome -> string
 (** One JSON line (no trailing newline) with a stable field order, so

@@ -55,11 +55,15 @@ type t = {
   mutable pending : pending option;
   last_views : int array;  (** last view reported by each replica *)
   metrics : Metrics.t;
+  mutable latency_probe : float -> unit;
+      (** health-monitor hook, called with each completed op's latency *)
 }
 
 let id t = Transport.principal t.transport
 
 let metrics t = t.metrics
+
+let set_latency_probe t probe = t.latency_probe <- probe
 
 (* Client events are stamped with the engine clock — the same clock the
    latency samples use — so a folded timeline sums exactly to the
@@ -219,6 +223,7 @@ let check_acceptance t p ~digest (tally : tally) =
       Metrics.incr t.metrics "ops.completed";
       let latency = Engine.now (Transport.engine t.transport) -. p.started in
       Metrics.sample t.metrics "latency" latency;
+      t.latency_probe latency;
       emit_trace t ~req_id:(trace_req t p)
         ~detail:(string_of_int p.retries)
         Trace.Client_deliver;
@@ -273,6 +278,7 @@ let create ~config ~transport ~replicas ~rng ~dispatcher () =
       pending = None;
       last_views = Array.make config.Config.n 0;
       metrics = Metrics.create ();
+      latency_probe = ignore;
     }
   in
   let sink ~wire ~prefix_len ~size env =

@@ -40,3 +40,9 @@ val invoke : t -> ?read_only:bool -> Payload.t -> (outcome -> unit) -> unit
 val busy : t -> bool
 
 val metrics : t -> Metrics.t
+
+val set_latency_probe : t -> (float -> unit) -> unit
+(** Install a hook called with each completed operation's latency, in
+    completion order — how an attached health monitor feeds its streaming
+    SLO sketches ({!Bft_core.Cluster.attach_monitor}). Defaults to
+    [ignore]; one probe at a time. *)

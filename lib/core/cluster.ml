@@ -3,6 +3,8 @@ module Cpu = Bft_sim.Cpu
 module Calibration = Bft_sim.Calibration
 module Network = Bft_net.Network
 module Keychain = Bft_crypto.Keychain
+module Fingerprint = Bft_crypto.Fingerprint
+module Monitor = Bft_trace.Monitor
 module Rng = Bft_util.Rng
 
 type client_machine = {
@@ -25,6 +27,7 @@ type t = {
   client_peers : (Types.client_id, Transport.peer) Hashtbl.t;
   mutable clients : Client.t list;  (* newest first *)
   mutable next_client : int;
+  mutable monitors : Monitor.t list;  (* attached health monitors *)
 }
 
 let engine t = t.engine
@@ -137,6 +140,57 @@ let sample_series ?(while_ = fun () -> true) t series ~interval =
   in
   Engine.schedule t.engine ~delay:interval tick
 
+(* --- health monitoring ------------------------------------------------ *)
+
+(* Snapshot the per-replica protocol gauges the health monitor consumes.
+   Pure reads over live state (no CPU charges, no RNG), so attaching a
+   monitor cannot perturb the simulation. A replica whose node is down is
+   reported unreachable — the monitor sees what a real scraper would. *)
+let health_gauges t =
+  let completed =
+    List.fold_left
+      (fun acc c -> acc + Metrics.count (Client.metrics c) "ops.completed")
+      0 t.clients
+  in
+  let g_replicas =
+    Array.mapi
+      (fun i r ->
+        {
+          Monitor.r_id = i;
+          r_reachable = Network.is_up t.network (replica_node t i);
+          r_view = Replica.view r;
+          r_last_executed = Replica.last_executed r;
+          r_last_committed = Replica.last_committed r;
+          r_last_stable = Replica.last_stable r;
+          r_stable_digest =
+            Format.asprintf "%a" Fingerprint.pp (Replica.stable_digest r);
+          r_queue_depth = Replica.queue_depth r;
+          r_backlog = Replica.backlog r;
+          r_log_depth = Replica.log_depth r;
+          r_replay_dropped =
+            Metrics.count (Replica.metrics r) "auth.replay_dropped";
+        })
+      t.replicas
+  in
+  { Monitor.g_time = Engine.now t.engine; g_completed = completed; g_replicas }
+
+let monitor_probe t latency =
+  List.iter (fun m -> Monitor.observe_latency m latency) t.monitors
+
+let attach_monitor ?(interval = 0.05) ?(while_ = fun () -> true) t mon =
+  if interval <= 0.0 then invalid_arg "Cluster.attach_monitor: interval";
+  t.monitors <- mon :: t.monitors;
+  List.iter (fun c -> Client.set_latency_probe c (monitor_probe t)) t.clients;
+  let rec tick () =
+    if while_ () then begin
+      Monitor.observe mon (health_gauges t);
+      Engine.schedule t.engine ~delay:interval tick
+    end
+  in
+  Engine.schedule t.engine ~delay:interval tick
+
+let monitors t = List.rev t.monitors
+
 let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
     ?(client_machine_speed = 1.0) ?(behaviors = []) ?(recv_buffer = 0.02)
     ?(trace = Bft_trace.Trace.nil) ?network ?(name_prefix = "")
@@ -219,6 +273,7 @@ let create ?(cal = Calibration.default) ?(seed = 42) ?(client_machines = 5)
     client_peers;
     clients = [];
     next_client = 0;
+    monitors = [];
   }
 
 let add_client t =
@@ -242,4 +297,5 @@ let add_client t =
       ~dispatcher:machine.cm_dispatcher ()
   in
   t.clients <- client :: t.clients;
+  Client.set_latency_probe client (monitor_probe t);
   client

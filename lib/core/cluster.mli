@@ -113,3 +113,27 @@ val sample_series :
     returns [true] (default: forever — note the pending timer then keeps
     the engine alive until its [until] horizon). The series must have been
     created with [~names:(series_names t)]. *)
+
+(* --- health monitoring --- *)
+
+val health_gauges : t -> Bft_trace.Monitor.gauges
+(** Instantaneous health snapshot: per-replica protocol gauges (view,
+    execution/commit/checkpoint marks, queue and log depths, replay drops,
+    stable-checkpoint digest) plus the total of completed client
+    operations. Pure reads — building a snapshot never perturbs the
+    simulation. A replica whose machine is down reports
+    [r_reachable = false], as a real scraper would observe. *)
+
+val attach_monitor :
+  ?interval:float -> ?while_:(unit -> bool) -> t -> Bft_trace.Monitor.t -> unit
+(** Feed the monitor a {!health_gauges} snapshot every [interval] virtual
+    seconds (default 0.05) for as long as [while_] returns [true] (default:
+    forever — the pending timer then keeps the engine alive until its
+    [until] horizon, like {!sample_series}). Also installs latency probes
+    ({!Client.set_latency_probe}) so every client — existing and future —
+    feeds the monitor's SLO sketches on each completed operation.
+    Observation is side-effect-free for the protocol: virtual-time results
+    are bit-identical with and without an attached monitor. *)
+
+val monitors : t -> Bft_trace.Monitor.t list
+(** Monitors attached so far, in attachment order. *)

@@ -117,6 +117,19 @@ let last_stable t = t.last_stable
 
 let metrics t = t.metrics
 
+(* Health-monitor gauges: cheap reads over live protocol state. *)
+
+let queue_depth t = Queue.length t.pending
+
+let backlog t = Hashtbl.length t.waiting
+
+let log_depth t =
+  let n = ref 0 in
+  Log.iter t.log (fun _ -> incr n);
+  !n
+
+let stable_digest t = t.stable_digest
+
 let behavior t = t.behavior
 
 let service t = t.service

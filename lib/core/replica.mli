@@ -49,6 +49,20 @@ val last_stable : t -> Types.seqno
 
 val metrics : t -> Metrics.t
 
+(* --- health-monitor gauges (cheap reads over live protocol state) --- *)
+
+val queue_depth : t -> int
+(** Requests sitting in the primary's batching queue. *)
+
+val backlog : t -> int
+(** Requests received from clients but not yet executed. *)
+
+val log_depth : t -> int
+(** Live slots in the message log (between the watermarks). *)
+
+val stable_digest : t -> Bft_crypto.Fingerprint.t
+(** Digest of the last stable checkpoint. *)
+
 val behavior : t -> Behavior.t
 
 val set_behavior : t -> Behavior.t -> unit

@@ -4,7 +4,9 @@ module Calibration = Bft_sim.Calibration
 module Network = Bft_net.Network
 module Cluster = Bft_core.Cluster
 module Config = Bft_core.Config
+module Monitor = Bft_trace.Monitor
 module Rng = Bft_util.Rng
+module Stats = Bft_util.Stats
 
 type t = {
   engine : Engine.t;
@@ -73,3 +75,64 @@ let profile t =
     (List.map
        (fun (name, cpu) -> (name, Cpu.busy_seconds cpu, Cpu.total_busy cpu))
        (Network.cpus t.network))
+
+(* --- health monitoring ------------------------------------------------ *)
+
+let attach_monitors ?limits ?window ?interval ?while_ t =
+  Array.mapi
+    (fun g cluster ->
+      let mon =
+        Monitor.create ?limits ?window ~group:(Printf.sprintf "g%d/" g) ()
+      in
+      Cluster.attach_monitor ?interval ?while_ cluster mon;
+      mon)
+    t.groups
+
+type rollup = {
+  ru_alerts : int;
+  ru_groups_alerting : int;
+  ru_throughput : float;
+  ru_worst_p99 : float;
+  ru_view_changes : int;
+  ru_checkpoint_lag : int;
+  ru_replay_drops : int;
+}
+
+let health_rollup mons =
+  let sum f = Array.fold_left (fun acc m -> acc + f m) 0 mons in
+  {
+    ru_alerts = sum Monitor.alert_count;
+    ru_groups_alerting =
+      Array.fold_left
+        (fun acc m -> if Monitor.healthy m then acc else acc + 1)
+        0 mons;
+    ru_throughput =
+      Array.fold_left (fun acc m -> acc +. Monitor.throughput m) 0.0 mons;
+    ru_worst_p99 =
+      Array.fold_left
+        (fun acc m ->
+          Float.max_num acc (Stats.Sketch.p99 (Monitor.latency_sketch m)))
+        Float.nan mons;
+    ru_view_changes = sum Monitor.view_changes;
+    ru_checkpoint_lag =
+      Array.fold_left
+        (fun acc m -> Stdlib.max acc (Monitor.checkpoint_lag m))
+        0 mons;
+    ru_replay_drops = sum Monitor.replay_drops;
+  }
+
+let rollup_line r =
+  Printf.sprintf
+    "fleet: %d alert%s in %d group%s | %.0f ops/s | worst p99 %s | %d view \
+     change%s | checkpoint lag %d | %d replay drop%s"
+    r.ru_alerts
+    (if r.ru_alerts = 1 then "" else "s")
+    r.ru_groups_alerting
+    (if r.ru_groups_alerting = 1 then "" else "s")
+    r.ru_throughput
+    (if Float.is_nan r.ru_worst_p99 then "n/a"
+     else Printf.sprintf "%.1f ms" (r.ru_worst_p99 *. 1e3))
+    r.ru_view_changes
+    (if r.ru_view_changes = 1 then "" else "s")
+    r.ru_checkpoint_lag r.ru_replay_drops
+    (if r.ru_replay_drops = 1 then "" else "s")

@@ -63,3 +63,35 @@ val profile : t -> Bft_trace.Profile.t
 
 val rng : t -> string -> Bft_util.Rng.t
 (** Derive a labelled RNG from the rig seed (for workloads). *)
+
+(* --- health monitoring --- *)
+
+val attach_monitors :
+  ?limits:Bft_trace.Monitor.limits ->
+  ?window:int ->
+  ?interval:float ->
+  ?while_:(unit -> bool) ->
+  t ->
+  Bft_trace.Monitor.t array
+(** One health monitor per replica group, labelled ["g<g>/"] and attached
+    via {!Bft_core.Cluster.attach_monitor} (so each group's gauges and
+    client latencies feed its own detectors and SLO sketches). Returned in
+    group order. *)
+
+(** Fleet-wide rollup over per-group monitors: alert totals, summed
+    throughput, the worst latency p99 (nan until any group has samples),
+    and worst-case checkpoint lag. *)
+type rollup = {
+  ru_alerts : int;
+  ru_groups_alerting : int;
+  ru_throughput : float;
+  ru_worst_p99 : float;
+  ru_view_changes : int;
+  ru_checkpoint_lag : int;
+  ru_replay_drops : int;
+}
+
+val health_rollup : Bft_trace.Monitor.t array -> rollup
+
+val rollup_line : rollup -> string
+(** One-line operator rendering of a {!health_rollup}. *)

@@ -162,3 +162,162 @@ let merge a b =
   m
 
 let to_list t = Array.to_list (Array.sub t.samples 0 t.size)
+
+(* --- streaming quantiles -------------------------------------------- *)
+
+(* P² (Jain & Chlamtac, CACM 1985): one quantile tracked with five markers
+   in O(1) memory. Deterministic — marker updates are pure arithmetic on
+   the observation stream, no randomness — so same stream, same estimate.
+   Exact while fewer than five observations have arrived (sorted buffer). *)
+module P2 = struct
+  type t = {
+    q : float; (* target quantile in (0,1) *)
+    heights : float array; (* marker heights h1..h5 *)
+    positions : float array; (* actual marker positions n1..n5 (1-based) *)
+    desired : float array; (* desired marker positions n'1..n'5 *)
+    increments : float array; (* dn'1..dn'5 *)
+    mutable n : int; (* observations so far *)
+  }
+
+  let create ~q () =
+    if not (q > 0.0 && q < 1.0) then invalid_arg "Stats.P2.create: q";
+    {
+      q;
+      heights = Array.make 5 0.0;
+      positions = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+      desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+      increments = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+      n = 0;
+    }
+
+  let count t = t.n
+
+  let quantile_of_sorted a q =
+    (* Nearest-rank, matching [percentile] above. *)
+    let n = Array.length a in
+    if n = 0 then nan
+    else begin
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+    end
+
+  (* Piecewise-parabolic prediction for marker i moving by d (+1 or -1);
+     falls back to linear when the parabola would leave [h_{i-1}, h_{i+1}]. *)
+  let adjust t i d =
+    let h = t.heights and p = t.positions in
+    let d = float_of_int d in
+    let num =
+      d /. (p.(i + 1) -. p.(i - 1))
+      *. (((p.(i) -. p.(i - 1) +. d) *. (h.(i + 1) -. h.(i)) /. (p.(i + 1) -. p.(i)))
+         +. ((p.(i + 1) -. p.(i) -. d) *. (h.(i) -. h.(i - 1)) /. (p.(i) -. p.(i - 1))))
+    in
+    let candidate = h.(i) +. num in
+    if h.(i - 1) < candidate && candidate < h.(i + 1) then h.(i) <- candidate
+    else
+      (* linear fallback towards the neighbour in direction d *)
+      h.(i) <-
+        h.(i)
+        +. (d *. (h.(i + int_of_float d) -. h.(i))
+           /. (p.(i + int_of_float d) -. p.(i)));
+    p.(i) <- p.(i) +. d
+
+  let add t x =
+    if t.n < 5 then begin
+      t.heights.(t.n) <- x;
+      t.n <- t.n + 1;
+      if t.n = 5 then Array.sort compare t.heights
+    end
+    else begin
+      let h = t.heights and p = t.positions in
+      (* cell k of the new observation, extending extremes as needed *)
+      let k =
+        if x < h.(0) then begin
+          h.(0) <- x;
+          0
+        end
+        else if x >= h.(4) then begin
+          h.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 1 to 3 do
+            if h.(i) <= x then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        p.(i) <- p.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+      done;
+      (* nudge the middle markers towards their desired positions *)
+      for i = 1 to 3 do
+        let d = t.desired.(i) -. p.(i) in
+        if
+          (d >= 1.0 && p.(i + 1) -. p.(i) > 1.0)
+          || (d <= -1.0 && p.(i - 1) -. p.(i) < -1.0)
+        then adjust t i (if d >= 1.0 then 1 else -1)
+      done;
+      t.n <- t.n + 1
+    end
+
+  let quantile t =
+    if t.n = 0 then nan
+    else if t.n < 5 then begin
+      let a = Array.sub t.heights 0 t.n in
+      Array.sort compare a;
+      quantile_of_sorted a t.q
+    end
+    else t.heights.(2)
+end
+
+(* Fixed bank of P² estimators for the SLO quantiles the monitor tracks,
+   plus exact running min/max/mean (cheap and handy in gauge tables). *)
+module Sketch = struct
+  type t = {
+    sk_p50 : P2.t;
+    sk_p95 : P2.t;
+    sk_p99 : P2.t;
+    mutable sk_n : int;
+    mutable sk_sum : float;
+    mutable sk_min : float;
+    mutable sk_max : float;
+  }
+
+  let create () =
+    {
+      sk_p50 = P2.create ~q:0.5 ();
+      sk_p95 = P2.create ~q:0.95 ();
+      sk_p99 = P2.create ~q:0.99 ();
+      sk_n = 0;
+      sk_sum = 0.0;
+      sk_min = infinity;
+      sk_max = neg_infinity;
+    }
+
+  let add t x =
+    P2.add t.sk_p50 x;
+    P2.add t.sk_p95 x;
+    P2.add t.sk_p99 x;
+    t.sk_n <- t.sk_n + 1;
+    t.sk_sum <- t.sk_sum +. x;
+    if x < t.sk_min then t.sk_min <- x;
+    if x > t.sk_max then t.sk_max <- x
+
+  let count t = t.sk_n
+
+  let mean t = if t.sk_n = 0 then nan else t.sk_sum /. float_of_int t.sk_n
+
+  let min t = if t.sk_n = 0 then nan else t.sk_min
+
+  let max t = if t.sk_n = 0 then nan else t.sk_max
+
+  let p50 t = P2.quantile t.sk_p50
+
+  let p95 t = P2.quantile t.sk_p95
+
+  let p99 t = P2.quantile t.sk_p99
+end

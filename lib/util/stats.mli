@@ -63,3 +63,52 @@ val merge : t -> t -> t
 val to_list : t -> float list
 (** Retained samples in insertion order (all samples while nothing has been
     dropped). *)
+
+(** Streaming single-quantile estimator: the P² algorithm (Jain &
+    Chlamtac, CACM 1985). Five markers, O(1) memory per quantile, fully
+    deterministic (pure arithmetic on the observation stream — same
+    stream, same estimate). Exact while fewer than five observations have
+    arrived; afterwards the middle marker tracks the target quantile with
+    piecewise-parabolic interpolation. This is what powers always-on SLO
+    tracking in {!Bft_trace.Monitor}: unlike the reservoir above it never
+    discards tail information by random replacement, and its memory does
+    not grow with the run. *)
+module P2 : sig
+  type t
+
+  val create : q:float -> unit -> t
+  (** Track the [q]-quantile, [q] in (0,1) exclusive. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  (** Observations ever added. *)
+
+  val quantile : t -> float
+  (** Current estimate; [nan] when empty, exact (nearest-rank) below five
+      observations. *)
+end
+
+(** A fixed bank of {!P2} estimators for the monitor's SLO quantiles
+    (p50/p95/p99) plus exact running count/mean/min/max. *)
+module Sketch : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+
+  val min : t -> float
+
+  val max : t -> float
+
+  val p50 : t -> float
+
+  val p95 : t -> float
+
+  val p99 : t -> float
+end

@@ -1,8 +1,8 @@
 module Table = Bft_util.Table
 module Engine = Bft_sim.Engine
+module Monitor = Bft_trace.Monitor
 
-let run_stream_phases ?params backend steps =
-  let rig = Nfs_rig.make ?params backend () in
+let drive rig steps =
   let result = ref None in
   let phases = ref [] in
   let engine = Nfs_rig.engine rig in
@@ -18,6 +18,9 @@ let run_stream_phases ?params backend steps =
   match !result with
   | Some (elapsed, calls) -> (elapsed, calls, List.rev !phases)
   | None -> failwith "file-system benchmark did not complete"
+
+let run_stream_phases ?params backend steps =
+  drive (Nfs_rig.make ?params backend ()) steps
 
 let run_stream ?params backend steps =
   let elapsed, calls, _ = run_stream_phases ?params backend steps in
@@ -58,6 +61,46 @@ let run_postmark ?(files = Postmark.default.Postmark.initial_files)
   let steps, txns = Postmark.generate (Postmark.scaled ~files ~transactions) in
   let elapsed, _calls = run_stream backend steps in
   (elapsed, txns)
+
+(* --- observed runs: the same workloads with telemetry attached -------- *)
+
+type observed = {
+  ob_backend : Nfs_rig.backend;
+  ob_elapsed : float;
+  ob_calls : int;
+  ob_phases : (string * float) list;
+  ob_profile : Bft_trace.Profile.t;
+  ob_monitor : Monitor.t;
+}
+
+let observe ?params backend steps =
+  let monitor = Monitor.create () in
+  let rig = Nfs_rig.make ?params ~monitor backend () in
+  let elapsed, calls, phases = drive rig steps in
+  {
+    ob_backend = backend;
+    ob_elapsed = elapsed;
+    ob_calls = calls;
+    ob_phases = phases;
+    ob_profile = Nfs_rig.profile rig;
+    ob_monitor = monitor;
+  }
+
+let observe_andrew ?client_mem ?server_mem ~n backend =
+  let profile = Andrew.andrew ~n in
+  let profile =
+    match client_mem with
+    | Some m -> { profile with Andrew.client_mem = m }
+    | None -> profile
+  in
+  observe
+    ~params:(params_for ?mem:server_mem backend)
+    backend (Andrew.generate profile)
+
+let observe_postmark ?(files = Postmark.default.Postmark.initial_files)
+    ?(transactions = Postmark.default.Postmark.transactions) backend =
+  let steps, txns = Postmark.generate (Postmark.scaled ~files ~transactions) in
+  (observe backend steps, txns)
 
 let ratio a b = if b > 0.0 then a /. b else nan
 

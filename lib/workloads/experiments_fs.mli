@@ -16,3 +16,26 @@ val run_andrew :
 val run_postmark :
   ?files:int -> ?transactions:int -> Nfs_rig.backend -> float * int
 (** Elapsed seconds and transaction count. *)
+
+(** One file-system benchmark run with telemetry attached: per-phase
+    elapsed breakdown, per-machine CPU-profile attribution, and the health
+    monitor (call-latency SLO sketches for every backend; replica gauges
+    and anomaly detectors for BFS). *)
+type observed = {
+  ob_backend : Nfs_rig.backend;
+  ob_elapsed : float;  (** total virtual seconds *)
+  ob_calls : int;  (** NFS calls issued *)
+  ob_phases : (string * float) list;  (** phase name, elapsed seconds *)
+  ob_profile : Bft_trace.Profile.t;
+  ob_monitor : Bft_trace.Monitor.t;
+}
+
+val observe_andrew :
+  ?client_mem:int -> ?server_mem:int -> n:int -> Nfs_rig.backend -> observed
+(** {!run_andrew} with telemetry. The numbers match the unobserved run —
+    monitoring is pure observation. *)
+
+val observe_postmark :
+  ?files:int -> ?transactions:int -> Nfs_rig.backend -> observed * int
+(** {!run_postmark} with telemetry; also returns the transaction count
+    (PostMark has a single phase, so [ob_phases] is empty). *)

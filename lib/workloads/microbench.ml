@@ -24,8 +24,8 @@ let latency_warmup = 8
 (* Shared latency rig; returns the cluster (and the optional series ring)
    so profiling callers can read CPU state after the run. *)
 let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
-    ?(trace = Bft_trace.Trace.nil) ?series_every ?(series_cap = 4096) ~arg
-    ~res ~read_only () =
+    ?(trace = Bft_trace.Trace.nil) ?series_every ?(series_cap = 4096) ?monitor
+    ~arg ~res ~read_only () =
   let cluster =
     Cluster.create ~seed ~client_machines:1 ~client_machine_speed:client_speed
       ~trace ~config ~service:(fun _ -> Service.null ()) ()
@@ -35,6 +35,13 @@ let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
   let warmup = latency_warmup in
   let stats = Stats.create () in
   let remaining = ref (warmup + ops) in
+  (* Shared by the series sampler and the health monitor: stop once every
+     measured operation has completed, so sampling timers do not keep the
+     engine running to its horizon. *)
+  let still_running () = !remaining > 0 || Stats.count stats < ops in
+  Option.iter
+    (fun m -> Cluster.attach_monitor ~while_:still_running cluster m)
+    monitor;
   let series =
     Option.map
       (fun interval ->
@@ -42,12 +49,7 @@ let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
           Bft_trace.Series.create ~capacity:series_cap
             ~names:(Cluster.series_names cluster) ()
         in
-        (* Stop sampling once every measured operation has completed, so
-           the sampler timer does not keep the engine running to its
-           horizon. *)
-        Cluster.sample_series
-          ~while_:(fun () -> !remaining > 0 || Stats.count stats < ops)
-          cluster s ~interval;
+        Cluster.sample_series ~while_:still_running cluster s ~interval;
         s)
       series_every
   in
@@ -66,8 +68,10 @@ let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
     { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
   )
 
-let bft_latency ?config ?ops ?seed ?trace ~arg ~res ~read_only () =
-  let _, _, r = latency_run ?config ?ops ?seed ?trace ~arg ~res ~read_only () in
+let bft_latency ?config ?ops ?seed ?trace ?monitor ~arg ~res ~read_only () =
+  let _, _, r =
+    latency_run ?config ?ops ?seed ?trace ?monitor ~arg ~res ~read_only ()
+  in
   r
 
 type profile_result = {
@@ -77,12 +81,12 @@ type profile_result = {
   pf_series : Bft_trace.Series.t option;
 }
 
-let bft_profile ?config ?ops ?seed ?trace ?series_every ?series_cap ~arg ~res
-    ~read_only () =
+let bft_profile ?config ?ops ?seed ?trace ?series_every ?series_cap ?monitor
+    ~arg ~res ~read_only () =
   Bft_crypto.Tally.reset ();
   let cluster, series, lat =
-    latency_run ?config ?ops ?seed ?trace ?series_every ?series_cap ~arg ~res
-      ~read_only ()
+    latency_run ?config ?ops ?seed ?trace ?series_every ?series_cap ?monitor
+      ~arg ~res ~read_only ()
   in
   {
     pf_latency = lat;
@@ -156,12 +160,15 @@ let measure_window ~engine ~warmup ~window ~per_client_counts =
   (completed, stalled)
 
 let bft_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42) ?(warmup = 0.5)
-    ?(window = 1.0) ?(trace = Bft_trace.Trace.nil) ~arg ~res ~read_only
-    ~clients () =
+    ?(window = 1.0) ?(trace = Bft_trace.Trace.nil) ?monitor ~arg ~res
+    ~read_only ~clients () =
   let cluster =
     Cluster.create ~seed ~client_machines:5 ~trace ~config
       ~service:(fun _ -> Service.null ()) ()
   in
+  (* The throughput rig only ever runs to explicit horizons, so the
+     monitor's forever-timer cannot extend the run. *)
+  Option.iter (fun m -> Cluster.attach_monitor cluster m) monitor;
   let op = Service.null_op ~read_only ~arg_size:arg ~result_size:res in
   let client_list = List.init clients (fun _ -> Cluster.add_client cluster) in
   (* Stagger start times: real benchmark clients never fire in the same
@@ -204,11 +211,12 @@ type sharded_result = {
   sh_stalled_clients : int;
   sh_retransmissions : int;
   sh_drops_by_node : (string * int * int) list;
+  sh_monitors : Bft_trace.Monitor.t array;
 }
 
 let sharded_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
     ?(warmup = 0.5) ?(window = 1.0) ?(trace = Bft_trace.Trace.nil)
-    ?(key_space = 4096) ~groups ~clients_per_group () =
+    ?(key_space = 4096) ?(health = false) ~groups ~clients_per_group () =
   let module Rig = Bft_shard.Rig in
   let module Proxy = Bft_shard.Proxy in
   let module Kv = Bft_services.Kv_store in
@@ -217,6 +225,7 @@ let sharded_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
       ~service:(fun ~group:_ _ -> Kv.service ())
       ()
   in
+  let monitors = if health then Rig.attach_monitors rig else [||] in
   let proxies =
     List.init (groups * clients_per_group) (fun _ -> Proxy.create rig)
   in
@@ -261,6 +270,7 @@ let sharded_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
     sh_retransmissions =
       List.fold_left (fun acc p -> acc + Proxy.retransmissions p) 0 proxies;
     sh_drops_by_node = drops_by_node (Rig.network rig);
+    sh_monitors = monitors;
   }
 
 let norep_throughput ?(seed = 42) ?(warmup = 0.5) ?(window = 1.0) ?(retry = false)

@@ -17,6 +17,7 @@ val bft_latency :
   ?ops:int ->
   ?seed:int ->
   ?trace:Bft_trace.Trace.t ->
+  ?monitor:Bft_trace.Monitor.t ->
   arg:int ->
   res:int ->
   read_only:bool ->
@@ -25,7 +26,10 @@ val bft_latency :
 (** Single client (700 MHz, as in Figures 2–3), ops invoked back to back.
     Pass a live [trace] sink to record the protocol trace of the run;
     fold it with {!Bft_trace.Timeline.of_trace} [~skip:latency_warmup]
-    to decompose exactly the measured operations. *)
+    to decompose exactly the measured operations. Pass a [monitor] to
+    attach always-on health telemetry ({!Bft_core.Cluster.attach_monitor});
+    observation is pure, so the measured numbers are bit-identical with
+    and without it. *)
 
 type profile_result = {
   pf_latency : latency_result;
@@ -44,6 +48,7 @@ val bft_profile :
   ?trace:Bft_trace.Trace.t ->
   ?series_every:float ->
   ?series_cap:int ->
+  ?monitor:Bft_trace.Monitor.t ->
   arg:int ->
   res:int ->
   read_only:bool ->
@@ -77,6 +82,7 @@ val bft_throughput :
   ?warmup:float ->
   ?window:float ->
   ?trace:Bft_trace.Trace.t ->
+  ?monitor:Bft_trace.Monitor.t ->
   arg:int ->
   res:int ->
   read_only:bool ->
@@ -84,7 +90,8 @@ val bft_throughput :
   unit ->
   throughput_result
 (** Clients spread over 5 client machines, closed loop, measured over
-    [window] seconds after [warmup]. [trace] as in {!bft_latency}. *)
+    [window] seconds after [warmup]. [trace] and [monitor] as in
+    {!bft_latency}. *)
 
 type sharded_result = {
   sh_ops_per_sec : float;  (** virtual time, summed over all groups *)
@@ -93,6 +100,10 @@ type sharded_result = {
   sh_stalled_clients : int;  (** proxies that made no progress *)
   sh_retransmissions : int;
   sh_drops_by_node : (string * int * int) list;
+  sh_monitors : Bft_trace.Monitor.t array;
+      (** per-group health monitors when [health] was requested (group
+          order), else empty — roll them up with
+          {!Bft_shard.Rig.health_rollup} *)
 }
 
 val sharded_throughput :
@@ -102,6 +113,7 @@ val sharded_throughput :
   ?window:float ->
   ?trace:Bft_trace.Trace.t ->
   ?key_space:int ->
+  ?health:bool ->
   groups:int ->
   clients_per_group:int ->
   unit ->
@@ -111,7 +123,9 @@ val sharded_throughput :
     [groups * clients_per_group] closed-loop proxies each pick a uniform
     key from [key_space] (default 4096) per op, so load spreads over the
     groups in proportion to the slots they own. Same [warmup]/[window]
-    measurement as {!bft_throughput}. Every group runs [config]. *)
+    measurement as {!bft_throughput}. Every group runs [config]. With
+    [health] (default false), a monitor is attached per group before any
+    client starts; results are bit-identical either way. *)
 
 val norep_throughput :
   ?seed:int ->

@@ -4,6 +4,7 @@ module Cpu = Bft_sim.Cpu
 module Calibration = Bft_sim.Calibration
 module Network = Bft_net.Network
 module Rng = Bft_util.Rng
+module Monitor = Bft_trace.Monitor
 module Proto = Bft_nfs.Proto
 module Nfs_service = Bft_nfs.Nfs_service
 module Nfs_std = Bft_nfs.Nfs_std
@@ -20,6 +21,8 @@ type t = {
   client_cpu : Cpu.t;
   invoke : read_only:bool -> Payload.t -> (Payload.t -> unit) -> unit;
   server_fs : Bft_nfs.Fs.t option;
+  profile : unit -> Bft_trace.Profile.t;
+  monitor : Monitor.t option;
 }
 
 let engine t = t.engine
@@ -28,7 +31,20 @@ let client_cpu t = t.client_cpu
 
 let server_fs t = t.server_fs
 
-let make backend ?(seed = 42) ?(params = Nfs_service.default_params) () =
+let profile t = t.profile ()
+
+let monitor t = t.monitor
+
+(* Same per-machine, per-category breakdown Cluster.profile produces, for
+   the unreplicated rigs (one server machine, one client machine). *)
+let profile_of_network net () =
+  Bft_trace.Profile.make ~labels:Cpu.category_labels
+    (List.map
+       (fun (name, cpu) -> (name, Cpu.busy_seconds cpu, Cpu.total_busy cpu))
+       (Network.cpus net))
+
+let make backend ?(seed = 42) ?(params = Nfs_service.default_params) ?monitor
+    () =
   match backend with
   | Bfs ->
     let config = Config.make ~f:1 () in
@@ -38,6 +54,8 @@ let make backend ?(seed = 42) ?(params = Nfs_service.default_params) () =
         ~service:(fun i -> services.(i)) ()
     in
     let client = Cluster.add_client cluster in
+    (* Gauges and client latencies both flow through the cluster hook. *)
+    Option.iter (fun m -> Cluster.attach_monitor cluster m) monitor;
     let invoke ~read_only op k =
       Client.invoke client ~read_only op (fun outcome -> k outcome.Client.result)
     in
@@ -47,6 +65,8 @@ let make backend ?(seed = 42) ?(params = Nfs_service.default_params) () =
         Network.node_cpu (Cluster.network cluster) (config.Config.n (* machine 0 *));
       invoke;
       server_fs = Nfs_service.fs_of services.(0);
+      profile = (fun () -> Cluster.profile cluster);
+      monitor;
     }
   | Norep_fs ->
     let engine = Engine.create () in
@@ -62,11 +82,25 @@ let make backend ?(seed = 42) ?(params = Nfs_service.default_params) () =
       Norep.Client.create ~network:net ~node:cnode ~id:100 ~server:snode
         ~retry_timeout:0.3 ()
     in
+    (* No replica gauges to scrape here; the monitor still gets every call
+       latency for its SLO sketches. *)
     let invoke ~read_only op k =
       ignore read_only;
-      Norep.Client.invoke client op (fun o -> k o.Norep.Client.result)
+      let started = Engine.now engine in
+      Norep.Client.invoke client op (fun o ->
+          Option.iter
+            (fun m -> Monitor.observe_latency m (Engine.now engine -. started))
+            monitor;
+          k o.Norep.Client.result)
     in
-    { engine; client_cpu = ccpu; invoke; server_fs = Nfs_service.fs_of service }
+    {
+      engine;
+      client_cpu = ccpu;
+      invoke;
+      server_fs = Nfs_service.fs_of service;
+      profile = profile_of_network net;
+      monitor;
+    }
   | Nfs_std_fs ->
     let engine = Engine.create () in
     let cal = Calibration.default in
@@ -82,9 +116,21 @@ let make backend ?(seed = 42) ?(params = Nfs_service.default_params) () =
     in
     let invoke ~read_only op k =
       ignore read_only;
-      Norep.Client.invoke client op (fun o -> k o.Norep.Client.result)
+      let started = Engine.now engine in
+      Norep.Client.invoke client op (fun o ->
+          Option.iter
+            (fun m -> Monitor.observe_latency m (Engine.now engine -. started))
+            monitor;
+          k o.Norep.Client.result)
     in
-    { engine; client_cpu = ccpu; invoke; server_fs = Some (Nfs_std.fs server) }
+    {
+      engine;
+      client_cpu = ccpu;
+      invoke;
+      server_fs = Some (Nfs_std.fs server);
+      profile = profile_of_network net;
+      monitor;
+    }
 
 type step = Compute of float | Call of Proto.call | Phase of string
 

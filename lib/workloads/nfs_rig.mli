@@ -19,12 +19,24 @@ val make :
   backend ->
   ?seed:int ->
   ?params:Bft_nfs.Nfs_service.params ->
+  ?monitor:Bft_trace.Monitor.t ->
   unit ->
   t
+(** With [monitor], the rig feeds the health monitor: for BFS, replica
+    gauges and client latencies via {!Bft_core.Cluster.attach_monitor};
+    for the unreplicated backends, call latencies only (there is no
+    replica group to scrape). Observation is pure — benchmark numbers are
+    identical with and without it. *)
 
 val engine : t -> Bft_sim.Engine.t
 
 val client_cpu : t -> Bft_sim.Cpu.t
+
+val profile : t -> Bft_trace.Profile.t
+(** Per-machine, per-category CPU cost breakdown at this instant, for any
+    backend (BFS delegates to {!Bft_core.Cluster.profile}). *)
+
+val monitor : t -> Bft_trace.Monitor.t option
 
 (** One benchmark step: local client computation, an NFS call, or a phase
     boundary marker (for per-phase reporting, as Andrew does). *)

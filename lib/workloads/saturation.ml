@@ -36,12 +36,15 @@ type scale_point = {
   sc_wall_s : float;
 }
 
+type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
+
 type t = {
   seed : int;
   quick : bool;
   micro : micro list;
   curve : point list;
   scaling : scale_point list;
+  health : health_row list;
 }
 
 let micro_shapes = [ ("0/0", 0, 0); ("4/0", 4096, 0); ("0/4", 0, 4096) ]
@@ -57,14 +60,37 @@ let scaling_groups ~max_groups =
 
 let scaling_clients_per_group ~quick = if quick then 12 else 16
 
-let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) () =
+let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
   if max_groups < 1 then invalid_arg "Saturation.run: max_groups must be positive";
   let ops = if quick then 60 else 200 in
+  (* With [health] every rig runs under an attached monitor; since
+     observation is pure, the virtual-time fields — and therefore
+     [virtual_json] — are byte-identical either way, which CI asserts. *)
+  let health_rows = ref [] in
+  let fresh_monitor label =
+    if not health then None
+    else begin
+      let m = Bft_trace.Monitor.create () in
+      health_rows :=
+        (label, fun () ->
+            {
+              hl_label = label;
+              hl_alerts = Bft_trace.Monitor.alert_count m;
+              hl_line = Bft_trace.Monitor.summary m;
+            })
+        :: !health_rows;
+      Some m
+    end
+  in
   let micro =
     List.map
       (fun (label, arg, res) ->
         let t0 = Unix.gettimeofday () in
-        let r = Microbench.bft_latency ~ops ~seed ~arg ~res ~read_only:false () in
+        let r =
+          Microbench.bft_latency ~ops ~seed
+            ?monitor:(fresh_monitor ("micro " ^ label))
+            ~arg ~res ~read_only:false ()
+        in
         {
           mi_label = label;
           mi_arg = arg;
@@ -82,8 +108,9 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) () =
       (fun clients ->
         let t0 = Unix.gettimeofday () in
         let r =
-          Microbench.bft_throughput ~seed ~window ~arg:0 ~res:0 ~read_only:false
-            ~clients ()
+          Microbench.bft_throughput ~seed ~window
+            ?monitor:(fresh_monitor (Printf.sprintf "curve %d clients" clients))
+            ~arg:0 ~res:0 ~read_only:false ~clients ()
         in
         let wall = Unix.gettimeofday () -. t0 in
         {
@@ -112,9 +139,21 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) () =
       (fun groups ->
         let t0 = Unix.gettimeofday () in
         let r =
-          Microbench.sharded_throughput ~seed ~window ~groups
+          Microbench.sharded_throughput ~seed ~window ~health ~groups
             ~clients_per_group:per_group ()
         in
+        if health then begin
+          let label = Printf.sprintf "scaling %d groups" groups in
+          let rollup = Bft_shard.Rig.health_rollup r.Microbench.sh_monitors in
+          health_rows :=
+            (label, fun () ->
+                {
+                  hl_label = label;
+                  hl_alerts = rollup.Bft_shard.Rig.ru_alerts;
+                  hl_line = Bft_shard.Rig.rollup_line rollup;
+                })
+            :: !health_rows
+        end;
         {
           sc_groups = groups;
           sc_clients = groups * per_group;
@@ -126,7 +165,13 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) () =
         })
       (scaling_groups ~max_groups)
   in
-  { seed; quick; micro; curve; scaling }
+  (* Health rows are thunks so each summary reflects the monitor's final
+     state (registration order = run order). *)
+  let health = List.rev_map (fun (_, row) -> row ()) !health_rows in
+  { seed; quick; micro; curve; scaling; health }
+
+let health_alerts t =
+  List.fold_left (fun acc h -> acc + h.hl_alerts) 0 t.health
 
 let peak t =
   List.fold_left
@@ -268,4 +313,12 @@ let print t =
   if not (Float.is_nan speedup) then
     Printf.printf "2-group speedup over 1 group: %.2fx\n" speedup;
   Printf.printf "batched wall-clock throughput: %.0f simulated requests/s\n"
-    (batched_sim_rps t)
+    (batched_sim_rps t);
+  if t.health <> [] then begin
+    Printf.printf "health (always-on monitors, %d alert%s total):\n"
+      (health_alerts t)
+      (if health_alerts t = 1 then "" else "s");
+    List.iter
+      (fun h -> Printf.printf "  %-18s %s\n" h.hl_label h.hl_line)
+      t.health
+  end

@@ -42,17 +42,28 @@ type scale_point = {
   sc_wall_s : float;  (** wall clock *)
 }
 
+(** One health-monitor summary row (a micro shape, a curve point, or a
+    scaling sweep's fleet rollup). *)
+type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
+
 type t = {
   seed : int;
   quick : bool;
   micro : micro list;
   curve : point list;
   scaling : scale_point list;
+  health : health_row list;  (** empty unless [run ~health:true] *)
 }
 
-val run : ?quick:bool -> ?seed:int -> ?max_groups:int -> unit -> t
+val run : ?quick:bool -> ?seed:int -> ?max_groups:int -> ?health:bool -> unit -> t
 (** [max_groups] bounds the scaling sweep: group counts double from 1 up
-    to it (default 4, i.e. 1/2/4 groups). *)
+    to it (default 4, i.e. 1/2/4 groups). With [health] (default false)
+    every rig runs under an always-on monitor and [t.health] carries one
+    summary row per bench; observation is pure, so {!virtual_json} is
+    byte-identical with and without it — CI asserts exactly that. *)
+
+val health_alerts : t -> int
+(** Total alerts across all health rows (0 for a healthy suite). *)
 
 val peak : t -> point option
 (** Curve point with the highest virtual throughput. *)
