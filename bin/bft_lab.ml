@@ -810,6 +810,180 @@ let monitor_cmd =
       const run $ seed $ crash_primary $ plan_file $ bundle_out $ fail_on_alert
       $ require_alert $ jsonl)
 
+let overload_cmd =
+  let doc =
+    "Overload robustness: drive one cluster with an open-loop square-wave \
+     burst (arrivals independent of completions, multiplexed over a stub \
+     pool), with admission control shedding excess load as explicit BUSY \
+     rejections. Checks the graceful-degradation invariants — every \
+     arrival commits or is explicitly rejected, the admission queue stays \
+     within its configured bound, replicas never disagree on an executed \
+     batch — and exits non-zero if any fails."
+  in
+  let module Openloop = Bft_workloads.Openloop in
+  let module Monitor = Bft_trace.Monitor in
+  let module Stats = Bft_util.Stats in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Run seed.") in
+  let rate =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "rate" ] ~doc:"Baseline arrival rate (ops per virtual second).")
+  in
+  let burst =
+    Arg.(
+      value & opt float 10.0
+      & info [ "burst" ]
+          ~doc:
+            "Burst multiplier: during the on-phase of each period arrivals \
+             come at $(b,--rate) times this factor. 1 degenerates to a \
+             plain Poisson stream.")
+  in
+  let period =
+    Arg.(
+      value & opt float 1.0
+      & info [ "period" ] ~doc:"Square-wave period (virtual seconds).")
+  in
+  let duty =
+    Arg.(
+      value & opt float 0.2
+      & info [ "duty" ] ~doc:"Fraction of each period spent bursting.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~doc:"Arrival horizon (virtual seconds).")
+  in
+  let stubs =
+    Arg.(
+      value & opt int 256
+      & info [ "stubs" ]
+          ~doc:
+            "Client stubs multiplexing the arrival stream (the pool must \
+             be deep enough for the burst to actually pile up at the \
+             primary, or the pool itself becomes the bottleneck).")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-limit" ]
+          ~doc:
+            "Replica admission-queue limit (0 disables shedding; with it \
+             disabled the run must drain without a single BUSY).")
+  in
+  let drop_oldest =
+    Arg.(
+      value & flag
+      & info [ "drop-oldest" ]
+          ~doc:"Shed the oldest queued request instead of the newest.")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-budget" ]
+          ~doc:"Client retries after a BUSY before reporting rejection.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the run's result JSONL to $(docv)."
+          ~docv:"FILE")
+  in
+  let bundle_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundle-out" ]
+          ~doc:
+            "Write the newest post-mortem bundle as JSONL to $(docv) (only \
+             produced if an alert fired)."
+          ~docv:"FILE")
+  in
+  let require_shed =
+    Arg.(
+      value & flag
+      & info [ "require-shed" ]
+          ~doc:
+            "Exit non-zero if admission control never shed (overload smoke: \
+             proves the burst actually exceeded capacity).")
+  in
+  let run seed rate burst period duty duration stubs queue_limit drop_oldest
+      retry_budget json_out bundle_out require_shed =
+    let process =
+      if burst <= 1.0 then Openloop.Poisson { rate }
+      else
+        Openloop.Square_wave
+          { base_rate = rate; burst_rate = rate *. burst; period; duty }
+    in
+    let config =
+      Bft_core.Config.make ~f:1 ~admission_queue_limit:queue_limit
+        ~shed_policy:
+          (if drop_oldest then Bft_core.Config.Drop_oldest
+           else Bft_core.Config.Reject_new)
+        ~shed_retry_budget:retry_budget ()
+    in
+    let r = Openloop.run ~config ~seed ~stubs ~duration process () in
+    Printf.printf "overload seed %d, %.0f ops/s x%.0f burst (duty %.2f): %s\n"
+      seed rate burst duty (Openloop.summary r);
+    Printf.printf "health: %s\n" (Monitor.summary r.Openloop.ol_monitor);
+    List.iter
+      (fun a -> Printf.printf "alert: %s\n" (Monitor.alert_detail a))
+      (Monitor.alerts r.Openloop.ol_monitor);
+    let jsonl =
+      let b = Buffer.create 256 in
+      Printf.bprintf b
+        "{\"schema\":\"bft-lab/overload/v1\",\"seed\":%d,\"rate\":%.3f,\"burst\":%.3f,\"period\":%.3f,\"duty\":%.3f,\"duration\":%.3f,\"stubs\":%d,\"queue_limit\":%d,\"offered\":%d,\"completed\":%d,\"rejected\":%d,\"unresolved\":%d,\"sheds\":%d,\"shed_rate\":%.3f,\"goodput\":%.3f,\"peak_backlog\":%d,\"peak_queue\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"retransmissions\":%d,\"safety_violations\":%d,\"alerts\":["
+        seed rate burst period duty duration stubs queue_limit
+        r.Openloop.ol_offered r.Openloop.ol_completed r.Openloop.ol_rejected
+        r.Openloop.ol_unresolved r.Openloop.ol_sheds r.Openloop.ol_shed_rate
+        r.Openloop.ol_goodput r.Openloop.ol_peak_backlog
+        r.Openloop.ol_peak_queue
+        (Stats.p50 r.Openloop.ol_latency *. 1e3)
+        (Stats.p99 r.Openloop.ol_latency *. 1e3)
+        r.Openloop.ol_retransmissions r.Openloop.ol_safety_violations;
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Monitor.alert_json a))
+        (Monitor.alerts r.Openloop.ol_monitor);
+      Buffer.add_string b "]}";
+      Buffer.contents b
+    in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      write_file path (jsonl ^ "\n");
+      Printf.printf "wrote %s\n" path);
+    (match bundle_out with
+    | None -> ()
+    | Some path -> (
+      match Monitor.last_bundle r.Openloop.ol_monitor with
+      | Some bundle ->
+        write_file path bundle;
+        Printf.printf "wrote post-mortem bundle to %s\n" path
+      | None -> Printf.printf "no post-mortem bundle (no alerts)\n"));
+    let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bft_lab overload: " ^ m); exit 1) fmt in
+    if r.Openloop.ol_safety_violations > 0 then
+      fail "%d safety violation(s): replicas disagree on executed batches"
+        r.Openloop.ol_safety_violations;
+    if r.Openloop.ol_unresolved <> 0 then
+      fail
+        "silent loss: %d of %d arrivals neither committed nor were rejected"
+        r.Openloop.ol_unresolved r.Openloop.ol_offered;
+    if queue_limit > 0 && r.Openloop.ol_peak_queue > queue_limit then
+      fail "admission queue reached %d, past the configured limit %d"
+        r.Openloop.ol_peak_queue queue_limit;
+    if queue_limit = 0 && r.Openloop.ol_sheds > 0 then
+      fail "%d sheds with admission control disabled" r.Openloop.ol_sheds;
+    if require_shed && r.Openloop.ol_sheds = 0 then
+      fail "no load was shed (--require-shed): burst never exceeded capacity"
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(
+      const run $ seed $ rate $ burst $ period $ duty $ duration $ stubs
+      $ queue_limit $ drop_oldest $ retry_budget $ json_out $ bundle_out
+      $ require_shed)
+
 let all_cmd =
   let doc = "Run every figure (the full benchmark suite)." in
   Cmd.v (Cmd.info "all" ~doc)
@@ -841,6 +1015,7 @@ let cmds =
     trace_cmd;
     profile_cmd;
     monitor_cmd;
+    overload_cmd;
     andrew_cmd;
     postmark_cmd;
     chaos_cmd;

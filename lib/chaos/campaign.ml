@@ -12,6 +12,8 @@ type outcome = {
   plan : Plan.t;
   ops_total : int;
   ops_completed : int;
+  ops_rejected : int;
+  sheds : int;
   final_view : int;
   views_after_heal : int;
   sim_time : float;
@@ -26,11 +28,19 @@ let failed o = o.violations <> []
    run. Three steady clients keep a closed-loop shared-counter workload
    running across the whole faulted window — faults that land on an idle
    protocol exercise nothing — plus two clients that fire the
-   Client_burst events. The counter makes execution order
-   client-observable: every Add reply is the pre-add value. *)
+   Client_burst events and (when the plan carries Load_spike/Load_ramp
+   events) a pool of stubs that multiplexes an open-loop arrival stream.
+   The counter makes execution order client-observable: every Add reply
+   is the pre-add value. Admission control runs with a small queue limit
+   so spikes actually shed; the campaign then checks overload-specific
+   invariants: no silent loss (every operation ends committed or
+   explicitly rejected) and queues stay bounded. *)
 let f = 1
 let steady_clients = 3
 let burst_clients = 2
+let openloop_stubs = 16 (* stub pool multiplexing Load_spike/Load_ramp arrivals *)
+let admission_queue_limit = 16
+let shed_retry_budget = 4 (* keep rejection latency well inside the settle budget *)
 let steady_think = 0.02 (* mean gap between a reply and the next request *)
 let settle_budget = 60.0
 let max_views_after_heal = 8
@@ -105,7 +115,7 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
     ?limits ?on_bundle ~seed ~plan () =
   let config =
     Config.make ~f ~checkpoint_interval:8 ~log_window:16
-      ~unsafe_no_commit_quorum ()
+      ~admission_queue_limit ~shed_retry_budget ~unsafe_no_commit_quorum ()
   in
   let n = config.Config.n in
   let cluster =
@@ -143,14 +153,20 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
   in
   let issued = ref 0 in
   let completed = ref 0 in
+  let rejected = ref 0 in
+  (* every invocation resolves exactly once: committed, or explicitly
+     rejected by admission control past the retry budget *)
+  let resolve (o : Client.outcome) =
+    if o.Client.rejected then incr rejected else incr completed
+  in
   List.iteri
     (fun i client ->
       let rng = Rng.split camp_rng (Printf.sprintf "steady%d" i) in
       let rec step () =
         if Engine.now engine < horizon then begin
           incr issued;
-          Client.invoke client payload (fun _ ->
-              incr completed;
+          Client.invoke client payload (fun o ->
+              resolve o;
               Engine.schedule engine
                 ~delay:(Rng.float rng (2.0 *. steady_think))
                 step)
@@ -162,10 +178,67 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
   let rec pump_burst j =
     if burst_pending.(j) > 0 && not (Client.busy burst.(j)) then begin
       burst_pending.(j) <- burst_pending.(j) - 1;
-      Client.invoke burst.(j) payload (fun _ ->
-          incr completed;
+      Client.invoke burst.(j) payload (fun o ->
+          resolve o;
           pump_burst j)
     end
+  in
+  (* Open-loop load (Load_spike / Load_ramp): arrivals are generated by a
+     seeded process independent of completions and multiplexed over a stub
+     pool, so a spike can offer far more load than the closed-loop clients
+     ever would — that pressure is what admission control sheds. The pool
+     only exists when the plan carries open-loop events, keeping all other
+     campaigns byte-identical to earlier runs of the same (seed, plan). *)
+  let plan_has_openloop =
+    List.exists
+      (fun e ->
+        match e.Plan.action with
+        | Plan.Load_spike _ | Plan.Load_ramp _ -> true
+        | _ -> false)
+      plan
+  in
+  let ol_offered = ref 0 in
+  let ol_waiting = ref 0 in
+  let ol_free = Queue.create () in
+  if plan_has_openloop then
+    for _ = 1 to openloop_stubs do
+      Queue.add (Cluster.add_client cluster) ol_free
+    done;
+  let rec ol_pump () =
+    if (not (Queue.is_empty ol_free)) && !ol_waiting > 0 then begin
+      decr ol_waiting;
+      let stub = Queue.pop ol_free in
+      Client.invoke stub payload (fun o ->
+          resolve o;
+          Queue.add stub ol_free;
+          ol_pump ());
+      ol_pump ()
+    end
+  in
+  let ol_arrive () =
+    incr ol_offered;
+    incr ol_waiting;
+    ol_pump ()
+  in
+  (* Arrival samplers, seeded per event in plan order. A spike is a
+     homogeneous Poisson stream; a ramp is sampled by thinning a
+     [rate_to] candidate stream with acceptance growing linearly from 0
+     to 1 across the window (exact for a linear-rate Poisson process). *)
+  let ol_event_idx = ref 0 in
+  let schedule_arrivals ~rate ~duration ~ramp =
+    let rng = Rng.split camp_rng (Printf.sprintf "openloop%d" !ol_event_idx) in
+    incr ol_event_idx;
+    let start = Engine.now engine in
+    let until = start +. duration in
+    let rec next t =
+      let t' = t +. Rng.exponential rng ~mean:(1.0 /. rate) in
+      if t' < until then begin
+        if (not ramp) || Rng.float rng 1.0 < (t' -. start) /. duration then
+          Engine.schedule_at engine t' ol_arrive;
+        next t'
+      end
+    in
+    next start
   in
   (* plan execution *)
   let ever_byz = Array.make n false in
@@ -196,6 +269,10 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
       for c = 0 to burst_clients - 1 do
         pump_burst c
       done
+    | Plan.Load_spike { rate; duration } ->
+      schedule_arrivals ~rate ~duration ~ramp:false
+    | Plan.Load_ramp { rate_to; duration } ->
+      schedule_arrivals ~rate:rate_to ~duration ~ramp:true
   in
   List.iter
     (fun e -> Engine.schedule_at engine e.Plan.at (fun () -> apply e.Plan.action))
@@ -228,31 +305,65 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
      budget runs out *)
   let violations = ref [] in
   let deadline = horizon +. settle_budget in
-  let ops_total () = !issued + burst_total in
+  let ops_total () = !issued + burst_total + !ol_offered in
+  let resolved () = !completed + !rejected in
   let rec settle t slack =
     let safety = audit_agreement replicas audited @ audit_replies replicas audited in
     if safety <> [] then violations := safety
-    else if !completed >= ops_total () && slack >= 2 then ()
+    else if resolved () >= ops_total () && slack >= 2 then ()
     else if t >= deadline then begin
-      if !completed < ops_total () then
+      if resolved () < ops_total () then
         violations :=
           [
             {
-              invariant = "liveness.completion";
+              invariant = "overload.no_silent_loss";
               detail =
                 Printf.sprintf
-                  "%d of %d client operations completed %.0f s after heal"
-                  !completed (ops_total ()) settle_budget;
+                  "%d of %d client operations resolved (%d committed, %d \
+                   rejected) %.0f s after heal"
+                  (resolved ()) (ops_total ()) !completed !rejected
+                  settle_budget;
             };
           ]
     end
     else begin
       let t' = Stdlib.min (t +. 1.0) deadline in
       Cluster.run ~until:t' cluster;
-      settle t' (if !completed >= ops_total () then slack + 1 else 0)
+      settle t' (if resolved () >= ops_total () then slack + 1 else 0)
     end
   in
   settle horizon 0;
+  (* Resolution accounting must be exact, not just "at least": a callback
+     firing twice (or an op both committing and being reported rejected)
+     is silent corruption of the ledger, so it fails the same invariant. *)
+  if !violations = [] && resolved () <> ops_total () then
+    violations :=
+      [
+        {
+          invariant = "overload.no_silent_loss";
+          detail =
+            Printf.sprintf
+              "%d operations issued but %d resolutions observed (%d \
+               committed, %d rejected)"
+              (ops_total ()) (resolved ()) !completed !rejected;
+        };
+      ];
+  if
+    !violations = []
+    && config.Config.admission_queue_limit > 0
+    && Monitor.peak_queue monitor > config.Config.admission_queue_limit
+  then
+    violations :=
+      [
+        {
+          invariant = "overload.queue_bounded";
+          detail =
+            Printf.sprintf
+              "peak admission queue depth %d exceeds configured limit %d"
+              (Monitor.peak_queue monitor)
+              config.Config.admission_queue_limit;
+        };
+      ];
   let final_view = max_view () in
   let views_after_heal = Stdlib.max 0 (final_view - view_at_heal) in
   if !violations = [] && views_after_heal > max_views_after_heal then
@@ -277,6 +388,8 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
     plan;
     ops_total = ops_total ();
     ops_completed = !completed;
+    ops_rejected = !rejected;
+    sheds = Array.fold_left (fun acc r -> acc + Replica.sheds r) 0 replicas;
     final_view;
     views_after_heal;
     sim_time = Cluster.now cluster;
@@ -302,9 +415,9 @@ let escape s =
 let jsonl ?(campaign = 0) ?trace_path o =
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "{\"campaign\":%d,\"seed\":%d,\"events\":%d,\"ops_total\":%d,\"ops_completed\":%d,\"final_view\":%d,\"views_after_heal\":%d,\"sim_time\":%.6f,"
-    campaign o.seed (List.length o.plan) o.ops_total o.ops_completed o.final_view
-    o.views_after_heal o.sim_time;
+    "{\"campaign\":%d,\"seed\":%d,\"events\":%d,\"ops_total\":%d,\"ops_completed\":%d,\"ops_rejected\":%d,\"sheds\":%d,\"final_view\":%d,\"views_after_heal\":%d,\"sim_time\":%.6f,"
+    campaign o.seed (List.length o.plan) o.ops_total o.ops_completed
+    o.ops_rejected o.sheds o.final_view o.views_after_heal o.sim_time;
   (match trace_path with
   | Some p -> Printf.bprintf b "\"trace\":\"%s\"," (escape p)
   | None -> ());

@@ -9,22 +9,34 @@
       to a Byzantine behaviour are outside the fault assumption's
       "correct" set and excluded from the audit; crash/restart replicas
       are included (their amnesia is covered by the [f] budget).
-    - {b liveness}: once every fault is healed and at most [f] replicas
-      were ever faulty, every outstanding client operation completes
-      within the settle budget and without unbounded view thrashing.
+    - {b liveness / no silent loss}: once every fault is healed and at
+      most [f] replicas were ever faulty, every outstanding client
+      operation resolves within the settle budget — commits, or is
+      explicitly rejected by admission control — without unbounded view
+      thrashing. Resolution accounting is exact: an op that resolves
+      twice (or never) fails the same invariant.
+    - {b bounded queues}: campaigns run with admission control enabled,
+      and the primary's request-admission queue must never be observed
+      deeper than its configured limit, even under the open-loop
+      [Load_spike]/[Load_ramp] plan events.
 
     Campaigns are deterministic: the same seed and plan produce the same
     {!outcome} byte for byte (including the JSONL rendering). *)
 
 type violation = { invariant : string; detail : string }
 (** [invariant] is a stable dotted name ("safety.agreement",
-    "safety.replies", "liveness.completion", "liveness.views"). *)
+    "safety.replies", "overload.no_silent_loss", "overload.queue_bounded",
+    "liveness.views"). *)
 
 type outcome = {
   seed : int;
   plan : Plan.t;
   ops_total : int;
+      (** steady + burst + open-loop arrivals actually offered *)
   ops_completed : int;
+  ops_rejected : int;
+      (** explicitly rejected by admission control past the retry budget *)
+  sheds : int;  (** BUSY replies sent by replicas, cumulative *)
   final_view : int;  (** max view over audited replicas at the end *)
   views_after_heal : int;  (** view-change rounds consumed after forced heal *)
   sim_time : float;  (** virtual seconds until the campaign settled *)

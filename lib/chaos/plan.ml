@@ -10,14 +10,24 @@ type action =
   | Set_dup of float
   | Behavior_switch of Bft_core.Types.replica_id * Behavior.t
   | Client_burst of int
+  | Load_spike of { rate : float; duration : float }
+  | Load_ramp of { rate_to : float; duration : float }
 
 type event = { at : float; action : action }
 
 type t = event list
 
+(* A load spike or ramp keeps generating arrivals for its whole window, so
+   a plan's duration extends to the end of the window, not just its start:
+   the campaign's settle phase must begin after the last arrival. *)
+let event_end e =
+  match e.action with
+  | Load_spike { duration; _ } | Load_ramp { duration; _ } -> e.at +. duration
+  | _ -> e.at
+
 let duration = function
   | [] -> 0.0
-  | evs -> List.fold_left (fun acc e -> Stdlib.max acc e.at) 0.0 evs
+  | evs -> List.fold_left (fun acc e -> Stdlib.max acc (event_end e)) 0.0 evs
 
 let sort evs =
   (* stable, so simultaneous events keep their plan order *)
@@ -37,6 +47,10 @@ let pp_action ppf = function
   | Behavior_switch (r, b) ->
     Format.fprintf ppf "behavior %d %s" r (Behavior.to_string b)
   | Client_burst k -> Format.fprintf ppf "burst %d" k
+  | Load_spike { rate; duration } ->
+    Format.fprintf ppf "spike %.6f %.6f" rate duration
+  | Load_ramp { rate_to; duration } ->
+    Format.fprintf ppf "ramp %.6f %.6f" rate_to duration
 
 let event_to_string e = Format.asprintf "%.6f %a" e.at pp_action e.action
 
@@ -68,6 +82,19 @@ let parse_line line =
     }
   | [ at; "burst"; k ] ->
     { at = float_of_string at; action = Client_burst (int_of_string k) }
+  | [ at; "spike"; rate; dur ] ->
+    {
+      at = float_of_string at;
+      action =
+        Load_spike { rate = float_of_string rate; duration = float_of_string dur };
+    }
+  | [ at; "ramp"; rate; dur ] ->
+    {
+      at = float_of_string at;
+      action =
+        Load_ramp
+          { rate_to = float_of_string rate; duration = float_of_string dur };
+    }
   | _ -> failwith "unrecognized event"
 
 let of_string s =
@@ -111,6 +138,14 @@ let validate ~n t =
     | Set_dup p -> check_prob p "dup"
     | Client_burst k ->
       if k <= 0 then Error "burst: size must be positive" else Ok ()
+    | Load_spike { rate; duration } ->
+      if rate <= 0.0 then Error "spike: rate must be positive"
+      else if duration <= 0.0 then Error "spike: duration must be positive"
+      else Ok ()
+    | Load_ramp { rate_to; duration } ->
+      if rate_to <= 0.0 then Error "ramp: target rate must be positive"
+      else if duration <= 0.0 then Error "ramp: duration must be positive"
+      else Ok ()
     | Behavior_switch (r, b) ->
       let* () = check_id r "behavior" in
       (match b with
@@ -186,7 +221,7 @@ let generate ~rng ~n ~f ~horizon =
   in
   for _ = 1 to count do
     let at = t_in (0.05 *. horizon) (0.75 *. horizon) in
-    match Rng.int rng 6 with
+    match Rng.int rng 8 with
     | 0 ->
       (* crash, and usually restart before the horizon so the plan itself
          exercises restart-from-checkpoint (the forced heal covers the rest) *)
@@ -210,6 +245,22 @@ let generate ~rng ~n ~f ~horizon =
       emit at (Behavior_switch (r, b));
       if Rng.bernoulli rng 0.5 then
         emit (t_in at (0.95 *. horizon)) (Behavior_switch (r, Behavior.Correct))
+    | 5 ->
+      (* open-loop burst: offered load far past what a handful of
+         closed-loop clients can generate — exercises admission control *)
+      emit at
+        (Load_spike
+           {
+             rate = 150.0 +. Rng.float rng 500.0;
+             duration = 0.05 +. Rng.float rng (0.2 *. horizon);
+           })
+    | 6 ->
+      emit at
+        (Load_ramp
+           {
+             rate_to = 150.0 +. Rng.float rng 500.0;
+             duration = 0.05 +. Rng.float rng (0.2 *. horizon);
+           })
     | _ -> emit at (Client_burst (1 + Rng.int rng 6))
   done;
   sort (List.rev !events)

@@ -28,6 +28,13 @@ type action =
   | Behavior_switch of Bft_core.Types.replica_id * Bft_core.Behavior.t
       (** switch the replica's injected behaviour mid-run *)
   | Client_burst of int  (** inject this many extra client operations *)
+  | Load_spike of { rate : float; duration : float }
+      (** open-loop Poisson arrivals at [rate] per second for [duration]
+          seconds, multiplexed over the campaign's stub pool — offered
+          load independent of completions, to exercise admission control *)
+  | Load_ramp of { rate_to : float; duration : float }
+      (** open-loop arrivals ramping linearly from zero to [rate_to] per
+          second across [duration] seconds, then stopping *)
 
 type event = { at : float; action : action }
 
@@ -35,7 +42,9 @@ type t = event list
 (** Sorted by time; ties fire in list order. *)
 
 val duration : t -> float
-(** Time of the last event, 0 for the empty plan. *)
+(** Time at which the plan's last effect ends, 0 for the empty plan. A
+    load spike or ramp keeps generating arrivals for its whole window, so
+    it contributes [at +. duration], not just [at]. *)
 
 val pp_action : Format.formatter -> action -> unit
 
@@ -48,8 +57,9 @@ val of_string : string -> (t, string) result
     ignored; events are re-sorted by time. *)
 
 val validate : n:int -> t -> (unit, string) result
-(** Replica ids in range, probabilities in [0,1], bursts positive,
-    partition groups disjoint, times non-negative. *)
+(** Replica ids in range, probabilities in [0,1], bursts positive, spike
+    and ramp rates/durations positive, partition groups disjoint, times
+    non-negative. *)
 
 val generate : rng:Bft_util.Rng.t -> n:int -> f:int -> horizon:float -> t
 (** A random plan whose events all fire before [horizon]. Deterministic in

@@ -11,6 +11,7 @@ type outcome = {
   latency : float;
   retries : int;
   view : view;
+  rejected : bool;
 }
 
 type reply_record = {
@@ -41,6 +42,7 @@ type pending = {
   callback : outcome -> unit;
   started : float;
   mutable retries : int;
+  mutable busy_retries : int;  (** BUSY replies absorbed for this op *)
   replies : (replica_id, reply_record) Hashtbl.t;
   tallies : (Fingerprint.t, tally) Hashtbl.t;
   mutable timer : Timer.t;
@@ -112,13 +114,19 @@ let transmit t p =
   if multicast_it then Transport.multicast t.transport ~dsts:(all_peers t) msg
   else Transport.send t.transport ~dst:(primary_peer t) msg
 
+(* Jittered exponential backoff: [base * min(cap, 2^attempt)], then
+   stretched by a seeded jitter factor in [1.0, 1.25) so that a burst of
+   clients that lost (or were shed) together does not retransmit in
+   lockstep. Deterministic given the client's RNG state. *)
+let retry_backoff ~base ~cap ~rng ~attempt =
+  base
+  *. Float.min cap (Float.pow 2.0 (float_of_int attempt))
+  *. (1.0 +. (0.25 *. Rng.float rng 1.0))
+
 let rec arm_timer t p =
-  (* Exponential backoff with jitter so that a burst of clients that lost
-     datagrams together does not retransmit in lockstep. *)
   let delay =
-    t.config.Config.client_retry_timeout
-    *. Float.min 16.0 (Float.pow 2.0 (float_of_int p.retries))
-    *. (1.0 +. (0.25 *. Rng.float t.rng 1.0))
+    retry_backoff ~base:t.config.Config.client_retry_timeout ~cap:16.0
+      ~rng:t.rng ~attempt:p.retries
   in
   p.timer <-
     Timer.start (Transport.engine t.transport) ~delay (fun () ->
@@ -138,6 +146,47 @@ and retransmit t p =
   end;
   transmit t p;
   arm_timer t p
+
+(* An authenticated BUSY from the current primary: the request was shed by
+   admission control. Retry on a jittered exponential backoff (capped at
+   64x, above the 16x retransmission cap, so shed traffic yields to
+   admitted traffic) until the retry budget runs out, then report the
+   operation as explicitly rejected. Rejection is advisory: a delayed
+   duplicate of the request can still commit at the replicas — the
+   per-client timestamp makes that harmless, and the callback's [rejected]
+   flag tells the application the result was not observed. *)
+let handle_busy t p =
+  Metrics.incr t.metrics "ops.shed";
+  Timer.cancel p.timer;
+  if p.busy_retries >= t.config.Config.shed_retry_budget then begin
+    t.pending <- None;
+    Metrics.incr t.metrics "ops.rejected";
+    let latency = Engine.now (Transport.engine t.transport) -. p.started in
+    emit_trace t ~req_id:(trace_req t p) ~detail:"rejected" Trace.Client_deliver;
+    p.callback
+      {
+        result = Payload.empty;
+        latency;
+        retries = p.retries;
+        view = view_estimate t;
+        rejected = true;
+      }
+  end
+  else begin
+    p.busy_retries <- p.busy_retries + 1;
+    let delay =
+      retry_backoff ~base:t.config.Config.client_retry_timeout ~cap:64.0
+        ~rng:t.rng ~attempt:p.busy_retries
+    in
+    p.timer <-
+      Timer.start (Transport.engine t.transport) ~delay (fun () ->
+          match t.pending with
+          | Some p' when p' == p ->
+            Metrics.incr t.metrics "ops.shed_retry";
+            transmit t p;
+            arm_timer t p
+          | _ -> ())
+  end
 
 let tally_for p digest =
   match Hashtbl.find_opt p.tallies digest with
@@ -227,7 +276,7 @@ let check_acceptance t p ~digest (tally : tally) =
       emit_trace t ~req_id:(trace_req t p)
         ~detail:(string_of_int p.retries)
         Trace.Client_deliver;
-      p.callback { result; latency; retries = p.retries; view }
+      p.callback { result; latency; retries = p.retries; view; rejected = false }
 
 let handle_reply t p (r : Message.reply) =
   let replica = r.Message.replica in
@@ -289,6 +338,15 @@ let create ~config ~transport ~replicas ~rng ~dispatcher () =
         match t.pending with
         | Some p when r.Message.timestamp = p.ts -> handle_reply t p r
         | _ -> Metrics.incr t.metrics "reply.stale")
+      | Message.Busy b -> (
+        match t.pending with
+        | Some p
+          when b.Message.bz_timestamp = p.ts
+               && env.Message.sender = b.Message.bz_replica
+               && b.Message.bz_replica
+                  = primary_of_view ~n:t.config.Config.n (view_estimate t) ->
+          handle_busy t p
+        | _ -> Metrics.incr t.metrics "busy.stale")
       | _ -> Metrics.incr t.metrics "unexpected")
     | Transport.Replayed -> Metrics.incr t.metrics "auth.replay_dropped"
     | Transport.Rejected -> Metrics.incr t.metrics "auth.failed"
@@ -315,6 +373,7 @@ let invoke t ?(read_only = false) op callback =
       callback;
       started = Engine.now (Transport.engine t.transport);
       retries = 0;
+      busy_retries = 0;
       replies = Hashtbl.create 8;
       tallies = Hashtbl.create 4;
       timer = Timer.never;

@@ -20,6 +20,14 @@ type outcome = {
   latency : float;
   retries : int;
   view : Types.view;  (** view reported by the matching replies *)
+  rejected : bool;
+      (** the operation was explicitly rejected by admission control: the
+          primary shed it with authenticated BUSY replies until the client's
+          [Config.shed_retry_budget] ran out. [result] is empty and no
+          latency sample is recorded — the rejection is an explicit terminal
+          outcome, not a completion. Advisory: a delayed duplicate of the
+          request may still commit at the replicas after the client gave
+          up; the per-client timestamp makes that harmless. *)
 }
 
 val create :
@@ -38,6 +46,13 @@ val invoke : t -> ?read_only:bool -> Payload.t -> (outcome -> unit) -> unit
     Raises [Invalid_argument] if an operation is already outstanding. *)
 
 val busy : t -> bool
+
+val retry_backoff :
+  base:float -> cap:float -> rng:Bft_util.Rng.t -> attempt:int -> float
+(** The client's jittered exponential backoff schedule:
+    [base * min(cap, 2^attempt) * (1 + 0.25 * u)] with [u] drawn uniformly
+    from the given RNG — deterministic for a given RNG state. Cap 16 is
+    used for loss retransmissions, cap 64 for shed (BUSY) retries. *)
 
 val metrics : t -> Metrics.t
 

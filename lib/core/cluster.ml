@@ -152,6 +152,11 @@ let health_gauges t =
       (fun acc c -> acc + Metrics.count (Client.metrics c) "ops.completed")
       0 t.clients
   in
+  let rejected =
+    List.fold_left
+      (fun acc c -> acc + Metrics.count (Client.metrics c) "ops.rejected")
+      0 t.clients
+  in
   let g_replicas =
     Array.mapi
       (fun i r ->
@@ -169,10 +174,16 @@ let health_gauges t =
           r_log_depth = Replica.log_depth r;
           r_replay_dropped =
             Metrics.count (Replica.metrics r) "auth.replay_dropped";
+          r_shed = Replica.sheds r;
         })
       t.replicas
   in
-  { Monitor.g_time = Engine.now t.engine; g_completed = completed; g_replicas }
+  {
+    Monitor.g_time = Engine.now t.engine;
+    g_completed = completed;
+    g_rejected = rejected;
+    g_replicas;
+  }
 
 let monitor_probe t latency =
   List.iter (fun m -> Monitor.observe_latency m latency) t.monitors

@@ -1,3 +1,5 @@
+type shed_policy = Reject_new | Drop_oldest
+
 type t = {
   f : int;
   n : int;
@@ -19,6 +21,9 @@ type t = {
   separate_request_transmission : bool;
   public_key_signatures : bool;
   unsafe_no_commit_quorum : bool;
+  admission_queue_limit : int;
+  shed_policy : shed_policy;
+  shed_retry_budget : int;
 }
 
 let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
@@ -28,7 +33,9 @@ let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
     ?(digest_replies = true) ?(tentative_execution = true)
     ?(piggyback_commits = false) ?(read_only_optimization = true)
     ?(batching = true) ?(separate_request_transmission = true)
-    ?(public_key_signatures = false) ?(unsafe_no_commit_quorum = false) ~f () =
+    ?(public_key_signatures = false) ?(unsafe_no_commit_quorum = false)
+    ?(admission_queue_limit = 0) ?(shed_policy = Reject_new)
+    ?(shed_retry_budget = 8) ~f () =
   {
     f;
     n = (3 * f) + 1;
@@ -50,6 +57,9 @@ let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
     separate_request_transmission;
     public_key_signatures;
     unsafe_no_commit_quorum;
+    admission_queue_limit;
+    shed_policy;
+    shed_retry_budget;
   }
 
 let validate t =
@@ -60,4 +70,8 @@ let validate t =
     Error "log window must cover at least two checkpoint intervals"
   else if t.batch_window < 1 then Error "batch window must be positive"
   else if t.max_batch_requests < 1 then Error "batch must allow a request"
+  else if t.admission_queue_limit < 0 then
+    Error "admission queue limit must be non-negative (0 disables shedding)"
+  else if t.shed_retry_budget < 0 then
+    Error "shed retry budget must be non-negative"
   else Ok ()

@@ -2,6 +2,12 @@
     optimizations of Section 3.1, each independently toggleable so the
     benchmark harness can reproduce the Section 4.4 ablations. *)
 
+type shed_policy =
+  | Reject_new  (** a full admission queue refuses the incoming request *)
+  | Drop_oldest
+      (** a full admission queue evicts its oldest queued request (which is
+          shed with a [Busy] reply) and admits the incoming one *)
+
 type t = {
   f : int;  (** tolerated faults; [n = 3f + 1] *)
   n : int;
@@ -35,6 +41,16 @@ type t = {
           committed without waiting for the 2f+1 commit quorum. Exists so
           the chaos invariant checker can prove it detects (and shrinks)
           real safety violations; never enable it outside that self-test. *)
+  (* --- overload protection --- *)
+  admission_queue_limit : int;
+      (** bound on the primary's pending-request queue; once full, requests
+          are shed with an explicit [Busy] reply per [shed_policy].
+          0 disables admission control entirely (the default, preserving
+          the unbounded-queue behavior of the paper's library). *)
+  shed_policy : shed_policy;
+  shed_retry_budget : int;
+      (** how many [Busy] replies a client absorbs (retrying with jittered
+          exponential backoff) before reporting the operation as rejected *)
 }
 
 val make :
@@ -56,6 +72,9 @@ val make :
   ?separate_request_transmission:bool ->
   ?public_key_signatures:bool ->
   ?unsafe_no_commit_quorum:bool ->
+  ?admission_queue_limit:int ->
+  ?shed_policy:shed_policy ->
+  ?shed_retry_budget:int ->
   f:int ->
   unit ->
   t

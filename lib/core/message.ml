@@ -87,6 +87,14 @@ type status = {
   st_replica : replica_id;
 }
 
+type busy = {
+  bz_view : view;
+  bz_timestamp : int64;
+  bz_client : client_id;
+  bz_replica : replica_id;
+  bz_queue : int;
+}
+
 type t =
   | Request of request
   | Pre_prepare of pre_prepare
@@ -104,6 +112,7 @@ type t =
   | Fetch_batch of fetch_batch
   | New_key of new_key
   | Status of status
+  | Busy of busy
 
 type envelope = { sender : int; msg : t; commits : commit list; auth : Auth.t }
 
@@ -331,6 +340,13 @@ let encode_msg enc = function
     Enc.u64 enc (Int64.of_int st.st_committed);
     Enc.bool enc st.st_vc;
     Enc.u16 enc st.st_replica
+  | Busy b ->
+    Enc.u8 enc 17;
+    Enc.u32 enc b.bz_view;
+    Enc.u64 enc b.bz_timestamp;
+    Enc.u32 enc b.bz_client;
+    Enc.u16 enc b.bz_replica;
+    Enc.u32 enc b.bz_queue
 
 let decode_msg dec =
   match Dec.u8 dec with
@@ -394,6 +410,13 @@ let decode_msg dec =
     let st_vc = Dec.bool dec in
     let st_replica = Dec.u16 dec in
     Status { st_view; st_stable; st_committed; st_vc; st_replica }
+  | 17 ->
+    let bz_view = Dec.u32 dec in
+    let bz_timestamp = Dec.u64 dec in
+    let bz_client = Dec.u32 dec in
+    let bz_replica = Dec.u16 dec in
+    let bz_queue = Dec.u32 dec in
+    Busy { bz_view; bz_timestamp; bz_client; bz_replica; bz_queue }
   | tag -> raise (Codec.Decode_error (Printf.sprintf "bad message tag %d" tag))
 
 let encode_body msg =
@@ -498,7 +521,7 @@ let padding = function
   | Pages p ->
     List.fold_left (fun acc (_, page) -> acc + page.Payload.pad) 0 p.pg_pages
   | Prepare _ | Commit _ | Checkpoint _ | View_change _ | Get_state _ | Fetch_batch _
-  | New_key _ | State_meta _ | Get_pages _ | Status _ ->
+  | New_key _ | State_meta _ | Get_pages _ | Status _ | Busy _ ->
     0
 
 (* --- envelope --------------------------------------------------------- *)
@@ -555,3 +578,4 @@ let tag_name = function
   | Get_pages _ -> "get-pages"
   | Pages _ -> "pages"
   | Status _ -> "status"
+  | Busy _ -> "busy"

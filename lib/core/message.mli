@@ -110,6 +110,18 @@ type status = {
   st_replica : replica_id;
 }
 
+(** Explicit admission-control rejection: the primary's bounded request
+    queue was full, so the request was shed instead of silently queued.
+    Authenticated like every other message by the envelope MAC vector.
+    [bz_queue] reports the queue depth at shed time, for diagnostics. *)
+type busy = {
+  bz_view : view;
+  bz_timestamp : int64;
+  bz_client : client_id;
+  bz_replica : replica_id;
+  bz_queue : int;
+}
+
 type t =
   | Request of request
   | Pre_prepare of pre_prepare
@@ -127,6 +139,7 @@ type t =
   | Fetch_batch of fetch_batch
   | New_key of new_key
   | Status of status
+  | Busy of busy
 
 type envelope = {
   sender : int;  (** principal id: replica or client *)

@@ -99,6 +99,7 @@ type t = {
   meta_votes : (seqno * Fingerprint.t * Fingerprint.t, int) Hashtbl.t;
   mutable fetch_ctx : fetch_ctx option;
   mutable state_timer : Timer.t;
+  mutable state_attempts : int;  (** consecutive state refetches without progress *)
 }
 
 let id t = t.id
@@ -120,6 +121,8 @@ let metrics t = t.metrics
 (* Health-monitor gauges: cheap reads over live protocol state. *)
 
 let queue_depth t = Queue.length t.pending
+
+let sheds t = Metrics.count t.metrics "admission.shed"
 
 let backlog t = Hashtbl.length t.waiting
 
@@ -253,9 +256,16 @@ let restore_snapshot t (p : Payload.t) =
 
 (* --- liveness timer --------------------------------------------------- *)
 
+(* Shared liveness backoff: the delay doubles per consecutive attempt,
+   capped at 64x the base period. Used by the view-change timer and the
+   state-transfer refetch timer so a stalled peer set cannot induce a
+   constant-rate retry storm. *)
+let liveness_backoff ~base ~attempts =
+  base *. Float.min 64.0 (Float.pow 2.0 (float_of_int attempts))
+
 let vc_timeout t =
-  t.config.Config.view_change_timeout
-  *. Float.min 64.0 (Float.pow 2.0 (float_of_int t.vc_attempts))
+  liveness_backoff ~base:t.config.Config.view_change_timeout
+    ~attempts:t.vc_attempts
 
 (* Garbage collection below a stable checkpoint: collect the doomed keys,
    then delete in place — no [Hashtbl.copy] of the whole table per
@@ -472,6 +482,56 @@ and send_reply t (r : Message.request) result ~tentative =
         ~detail:(if tentative then "tentative" else "final")
         Trace.Reply_sent;
     out_send t ~dst (Message.Reply reply)
+
+(* Admission control (overload protection): tell the client explicitly
+   that its request was shed instead of silently queueing it. The envelope
+   MAC vector authenticates the BUSY like any other protocol message. *)
+and send_busy t (r : Message.request) =
+  Metrics.incr t.metrics "admission.shed";
+  match t.lookup_client r.Message.client with
+  | None -> Metrics.incr t.metrics "reply.unknown_client"
+  | Some dst ->
+    let busy =
+      {
+        Message.bz_view = t.view;
+        bz_timestamp = r.Message.timestamp;
+        bz_client = r.Message.client;
+        bz_replica = t.id;
+        bz_queue = Queue.length t.pending;
+      }
+    in
+    if not (muted t) then
+      emit_trace t ~view:t.view ~req_id:(trace_req r) ~detail:"busy"
+        Trace.Reply_sent;
+    out_send t ~dst (Message.Busy busy)
+
+(* Bounded admission queue: admit [r] to the primary's pending queue,
+   shedding per the configured policy when full. [record_ts] marks the
+   fresh-request path, where admission also bumps the client's queued
+   timestamp (the full-replies re-propose path must not touch it). *)
+and admit_request t (r : Message.request) ~record_ts =
+  let limit = t.config.Config.admission_queue_limit in
+  if limit > 0 && Queue.length t.pending >= limit then begin
+    match t.config.Config.shed_policy with
+    | Config.Reject_new -> send_busy t r
+    | Config.Drop_oldest ->
+      let victim = Queue.pop t.pending in
+      (* Roll the victim's queued timestamp back so its retransmission
+         passes the freshness check and re-enters admission. *)
+      Hashtbl.replace t.queued_ts victim.Message.client
+        (Int64.sub victim.Message.timestamp 1L);
+      send_busy t victim;
+      if record_ts then
+        Hashtbl.replace t.queued_ts r.Message.client r.Message.timestamp;
+      Queue.add r t.pending;
+      try_send_batch t
+  end
+  else begin
+    if record_ts then
+      Hashtbl.replace t.queued_ts r.Message.client r.Message.timestamp;
+    Queue.add r t.pending;
+    try_send_batch t
+  end
 
 and resend_cached_reply t (r : Message.request) =
   let ce = client_entry t r.Message.client in
@@ -708,11 +768,17 @@ and request_state t ~target =
     t.await_state <- Some target;
     Metrics.incr t.metrics "state.requested";
     out_multicast t (Message.Get_state { from_seq = t.last_stable; replica = t.id });
+    let delay =
+      liveness_backoff
+        ~base:(2.0 *. t.config.Config.client_retry_timeout)
+        ~attempts:t.state_attempts
+    in
     t.state_timer <-
-      Timer.restart (engine t) t.state_timer ~delay:(2.0 *. t.config.Config.client_retry_timeout)
-        (fun () ->
+      Timer.restart (engine t) t.state_timer ~delay (fun () ->
           match t.await_state with
           | Some target ->
+            t.state_attempts <- t.state_attempts + 1;
+            Metrics.incr t.metrics "state.refetch";
             t.await_state <- None;
             t.fetch_ctx <- None;
             Hashtbl.reset t.meta_votes;
@@ -899,6 +965,7 @@ and adopt_state t seq digest snapshot =
     t.recovering <- false;
     t.await_state <- None;
     Timer.cancel t.state_timer;
+    t.state_attempts <- 0;
     Hashtbl.reset t.state_votes;
     Metrics.incr t.metrics "recovery.completed";
     Metrics.incr t.metrics "state.validated"
@@ -919,6 +986,7 @@ and adopt_state_restore t seq digest snapshot =
     t.deferred_ro <- [];
     t.await_state <- None;
     Timer.cancel t.state_timer;
+    t.state_attempts <- 0;
     Hashtbl.reset t.state_votes;
     Hashtbl.reset t.meta_votes;
     t.fetch_ctx <- None;
@@ -1335,18 +1403,12 @@ and on_request t sender (r : Message.request) =
         let fresh =
           match queued with Some ts -> r.Message.timestamp > ts | None -> true
         in
-        if fresh then begin
-          Hashtbl.replace t.queued_ts r.Message.client r.Message.timestamp;
-          Queue.add r t.pending;
-          try_send_batch t
-        end
+        if fresh then admit_request t r ~record_ts:true
         else if r.Message.full_replies then begin
           (* Retransmission of something we may have lost in a view change:
              if it is no longer in flight, propose it again. *)
-          if not (in_flight t digest) && not (Queue.fold (fun acc (q : Message.request) -> acc || (q.Message.client = r.Message.client && q.Message.timestamp = r.Message.timestamp)) false t.pending) then begin
-            Queue.add r t.pending;
-            try_send_batch t
-          end
+          if not (in_flight t digest) && not (Queue.fold (fun acc (q : Message.request) -> acc || (q.Message.client = r.Message.client && q.Message.timestamp = r.Message.timestamp)) false t.pending) then
+            admit_request t r ~record_ts:false
         end
       end
       else begin
@@ -1743,6 +1805,7 @@ and handle_message t sender msg =
   | Message.Reply _ -> Metrics.incr t.metrics "unexpected.reply"
   | Message.New_key k -> if sender = k.Message.nk_replica then on_new_key t k
   | Message.Status st -> on_status t sender st
+  | Message.Busy _ -> Metrics.incr t.metrics "unexpected.busy"
 
 (* Replay attack: keep a ring of authenticated datagrams exactly as they
    arrived and occasionally re-inject one onto the wire, bypassing the
@@ -1898,6 +1961,7 @@ let restart t =
   Hashtbl.reset t.state_votes;
   Hashtbl.reset t.meta_votes;
   t.fetch_ctx <- None;
+  t.state_attempts <- 0;
   t.replay_len <- 0;
   t.replay_pos <- 0;
   Metrics.incr t.metrics "restart";
@@ -1977,6 +2041,7 @@ let create ~config ~transport ~replicas ~lookup_client ~service ~rng ~dispatcher
       meta_votes = Hashtbl.create 4;
       fetch_ctx = None;
       state_timer = Timer.never;
+      state_attempts = 0;
     }
   in
   (match behavior with

@@ -52,7 +52,16 @@ val metrics : t -> Metrics.t
 (* --- health-monitor gauges (cheap reads over live protocol state) --- *)
 
 val queue_depth : t -> int
-(** Requests sitting in the primary's batching queue. *)
+(** Requests sitting in the primary's batching queue. Bounded by
+    [Config.admission_queue_limit] when admission control is enabled. *)
+
+val sheds : t -> int
+(** Requests shed by admission control (explicit [Busy] replies sent). *)
+
+val liveness_backoff : base:float -> attempts:int -> float
+(** Shared liveness retry schedule: [base * 2^attempts], capped at
+    [64 * base]. Drives the view-change timer and the state-transfer
+    refetch timer. *)
 
 val backlog : t -> int
 (** Requests received from clients but not yet executed. *)

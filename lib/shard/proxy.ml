@@ -1,13 +1,22 @@
 module Client = Bft_core.Client
 module Cluster = Bft_core.Cluster
+module Config = Bft_core.Config
 module Metrics = Bft_core.Metrics
+module Engine = Bft_sim.Engine
+module Rng = Bft_util.Rng
 module Kv = Bft_services.Kv_store
 
 type t = {
   router : Router.t;
   clients : Client.t array;  (* one per group *)
+  engine : Engine.t;
+  rng : Rng.t;
+  retry_budget : int;  (* proxy-level re-invokes after a rejection *)
+  base_backoff : float;
   started : int array;
   completed : int array;
+  sheds : int array;  (* rejected invocations observed, per group *)
+  shed_retries : int array;  (* proxy-level retries spent, per group *)
   mutable busy : bool;
 }
 
@@ -17,13 +26,27 @@ type outcome = {
   raw : Client.outcome;
 }
 
-let create rig =
+let create ?(retry_budget = 2) rig =
   let groups = Rig.group_count rig in
+  let clients =
+    Array.init groups (fun g -> Cluster.add_client (Rig.cluster rig g))
+  in
   {
     router = Rig.router rig;
-    clients = Array.init groups (fun g -> Cluster.add_client (Rig.cluster rig g));
+    clients;
+    engine = Rig.engine rig;
+    (* fork, not split: drawing the backoff stream must not advance the
+       rig root, or creating a proxy would perturb every later labelled
+       derivation (and the golden bench results with it) *)
+    rng =
+      Rig.fork_rng rig
+        (Printf.sprintf "proxy.backoff.%d" (Client.id clients.(0)));
+    retry_budget;
+    base_backoff = (Rig.config rig).Config.client_retry_timeout;
     started = Array.make groups 0;
     completed = Array.make groups 0;
+    sheds = Array.make groups 0;
+    shed_retries = Array.make groups 0;
     busy = false;
   }
 
@@ -40,20 +63,47 @@ let invoke t op callback =
   let group = group_of_op t op in
   t.busy <- true;
   t.started.(group) <- t.started.(group) + 1;
-  Client.invoke t.clients.(group)
-    ~read_only:(Kv.is_read_only_op op)
-    (Kv.op_payload op)
-    (fun raw ->
-      t.busy <- false;
-      t.completed.(group) <- t.completed.(group) + 1;
-      callback
-        { group; result = Kv.result_of_payload raw.Client.result; raw })
+  let finish result raw =
+    t.busy <- false;
+    t.completed.(group) <- t.completed.(group) + 1;
+    callback { group; result; raw }
+  in
+  (* Graceful degradation: a rejected invocation (the group's primary shed
+     it past the client's own retry budget) is re-invoked after a jittered
+     backoff up to [retry_budget] times, then surfaced as an explicit
+     [Error "busy"] so the caller sees shed load instead of silent loss. *)
+  let rec attempt n =
+    Client.invoke t.clients.(group)
+      ~read_only:(Kv.is_read_only_op op)
+      (Kv.op_payload op)
+      (fun raw ->
+        if raw.Client.rejected then begin
+          t.sheds.(group) <- t.sheds.(group) + 1;
+          if n < t.retry_budget then begin
+            t.shed_retries.(group) <- t.shed_retries.(group) + 1;
+            let delay =
+              Client.retry_backoff ~base:t.base_backoff ~cap:64.0 ~rng:t.rng
+                ~attempt:n
+            in
+            Engine.schedule t.engine ~delay (fun () -> attempt (n + 1))
+          end
+          else finish (Kv.Error "busy") raw
+        end
+        else finish (Kv.result_of_payload raw.Client.result) raw)
+  in
+  attempt 0
 
 let started t = Array.copy t.started
 
 let completed t = Array.copy t.completed
 
 let total_completed t = Array.fold_left ( + ) 0 t.completed
+
+let sheds t = Array.copy t.sheds
+
+let shed_retries t = Array.copy t.shed_retries
+
+let total_sheds t = Array.fold_left ( + ) 0 t.sheds
 
 let retransmissions t =
   Array.fold_left

@@ -18,16 +18,22 @@ type outcome = {
   raw : Bft_core.Client.outcome;  (** latency / retries / view *)
 }
 
-val create : Rig.t -> t
+val create : ?retry_budget:int -> Rig.t -> t
 (** Adds one client process to every group of the rig (placed on that
     group's client machines round-robin, as {!Bft_core.Cluster.add_client}
-    does). *)
+    does). [retry_budget] (default 2) bounds how many times the proxy
+    re-invokes an operation that the owning group's admission control
+    explicitly rejected, each re-invoke after a jittered exponential
+    backoff. *)
 
 val invoke : t -> Bft_services.Kv_store.op -> (outcome -> unit) -> unit
 (** Route the operation to the owning group and start it; the callback
     fires exactly once, on completion. Get operations use the read-only
-    optimization. Raises [Invalid_argument] if an operation is already
-    outstanding on this proxy. *)
+    optimization. An operation still rejected after the proxy's retry
+    budget completes with [result = Error "busy"] (and [raw.rejected]
+    set) — graceful degradation, never silent loss. Raises
+    [Invalid_argument] if an operation is already outstanding on this
+    proxy. *)
 
 val group_of_op : t -> Bft_services.Kv_store.op -> int
 (** Where {!invoke} would send this operation. *)
@@ -43,3 +49,12 @@ val total_completed : t -> int
 
 val retransmissions : t -> int
 (** Total client-side retransmissions, summed over the per-group clients. *)
+
+val sheds : t -> int array
+(** Per-group count of invocations that came back explicitly rejected by
+    admission control (before proxy-level retries resolved them). *)
+
+val shed_retries : t -> int array
+(** Per-group count of proxy-level re-invokes spent on rejections. *)
+
+val total_sheds : t -> int

@@ -70,6 +70,8 @@ let trace t = Network.trace t.network
 
 let rng t label = Rng.split t.root_rng label
 
+let fork_rng t label = Rng.fork t.root_rng label
+
 let profile t =
   Bft_trace.Profile.make ~labels:Cpu.category_labels
     (List.map

@@ -62,7 +62,13 @@ val profile : t -> Bft_trace.Profile.t
     (balanced the same way {!Bft_core.Cluster.profile} is). *)
 
 val rng : t -> string -> Bft_util.Rng.t
-(** Derive a labelled RNG from the rig seed (for workloads). *)
+(** Derive a labelled RNG from the rig seed (for workloads). Advances the
+    rig's root generator: call order matters for reproducibility. *)
+
+val fork_rng : t -> string -> Bft_util.Rng.t
+(** Like {!rng} but pure ({!Bft_util.Rng.fork}): does not advance the rig
+    root, so it cannot perturb other derivations. Labels must be unique
+    across all [fork_rng] calls on an untouched root. *)
 
 (* --- health monitoring --- *)
 

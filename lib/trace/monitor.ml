@@ -32,11 +32,13 @@ type replica_gauges = {
   r_backlog : int;  (** requests received but not yet executed *)
   r_log_depth : int;  (** live slots in the message log *)
   r_replay_dropped : int;  (** cumulative authenticator replays dropped *)
+  r_shed : int;  (** cumulative requests shed by admission control *)
 }
 
 type gauges = {
   g_time : float;
   g_completed : int;  (** cumulative client operations completed *)
+  g_rejected : int;  (** cumulative client operations explicitly rejected *)
   g_replicas : replica_gauges array;
 }
 
@@ -63,6 +65,7 @@ type alert_kind =
   | Silent_leader of { view : int; primary : int; silent_for : float }
   | Divergent_checkpoint of { seqno : int; replicas : (int * string) list }
   | Slo_breach of { p99 : float; limit : float; samples : int }
+  | Overload of { shed_rate : float; p99 : float; limit : float }
 
 type alert = { a_at : float; a_group : string; a_kind : alert_kind }
 
@@ -71,6 +74,7 @@ let kind_name = function
   | Silent_leader _ -> "monitor.silent_leader"
   | Divergent_checkpoint _ -> "monitor.divergent_checkpoint"
   | Slo_breach _ -> "monitor.slo_breach"
+  | Overload _ -> "monitor.overload"
 
 let alert_detail a =
   match a.a_kind with
@@ -87,6 +91,11 @@ let alert_detail a =
   | Slo_breach { p99; limit; samples } ->
     Printf.sprintf "latency p99 %.1f ms over SLO %.1f ms (%d samples)"
       (p99 *. 1e3) (limit *. 1e3) samples
+  | Overload { shed_rate; p99; limit } ->
+    Printf.sprintf
+      "overload: admitted-traffic p99 %.1f ms over SLO %.1f ms while \
+       shedding %.0f req/s — admission control is not absorbing the excess"
+      (p99 *. 1e3) (limit *. 1e3) shed_rate
 
 let alert_json a =
   let b = Buffer.create 128 in
@@ -109,7 +118,10 @@ let alert_json a =
     Buffer.add_char b ']'
   | Slo_breach { p99; limit; samples } ->
     Printf.bprintf b ",\"p99\":%.6f,\"limit\":%.6f,\"samples\":%d" p99 limit
-      samples);
+      samples
+  | Overload { shed_rate; p99; limit } ->
+    Printf.bprintf b ",\"shed_rate\":%.6f,\"p99\":%.6f,\"limit\":%.6f"
+      shed_rate p99 limit);
   Printf.bprintf b ",\"detail\":\"%s\"}" (Trace.escape (alert_detail a));
   Buffer.contents b
 
@@ -145,6 +157,11 @@ type t = {
   mutable silent_armed : bool;
   mutable divergence_seen : (int, unit) Hashtbl.t;
   mutable slo_armed : bool;
+  (* overload gauges *)
+  mutable shed_total : int;  (** cumulative sheds at the newest tick *)
+  mutable shed_rate : float;  (** sheds per virtual second, last interval *)
+  mutable rejected_total : int;  (** cumulative explicit client rejections *)
+  mutable peak_queue : int;  (** highest per-replica queue depth observed *)
   (* flight recorder *)
   mutable recorder : recorder option;
   mutable last_bundle : string option;
@@ -174,6 +191,10 @@ let create ?(limits = default_limits) ?(window = 256) ?(group = "") () =
     silent_armed = true;
     divergence_seen = Hashtbl.create 8;
     slo_armed = true;
+    shed_total = 0;
+    shed_rate = 0.0;
+    rejected_total = 0;
+    peak_queue = 0;
     recorder = None;
     last_bundle = None;
     bundle_count = 0;
@@ -200,22 +221,31 @@ let samples_observed t = t.seen
 
 let last_gauges t = t.last
 
+let shed_total t = t.shed_total
+
+let shed_rate t = t.shed_rate
+
+let rejected_total t = t.rejected_total
+
+let peak_queue t = t.peak_queue
+
 let set_meta t meta = t.meta <- meta
 
 (* --- gauge-row rendering ---------------------------------------------- *)
 
 let gauges_json t g =
   let b = Buffer.create 256 in
-  Printf.bprintf b "{\"t\":%.6f,\"group\":\"%s\",\"completed\":%d,\"replicas\":["
-    g.g_time (Trace.escape t.group) g.g_completed;
+  Printf.bprintf b
+    "{\"t\":%.6f,\"group\":\"%s\",\"completed\":%d,\"rejected\":%d,\"replicas\":["
+    g.g_time (Trace.escape t.group) g.g_completed g.g_rejected;
   Array.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b
-        "{\"id\":%d,\"up\":%b,\"view\":%d,\"exec\":%d,\"commit\":%d,\"stable\":%d,\"digest\":\"%s\",\"queue\":%d,\"backlog\":%d,\"log\":%d,\"replay_dropped\":%d}"
+        "{\"id\":%d,\"up\":%b,\"view\":%d,\"exec\":%d,\"commit\":%d,\"stable\":%d,\"digest\":\"%s\",\"queue\":%d,\"backlog\":%d,\"log\":%d,\"replay_dropped\":%d,\"shed\":%d}"
         r.r_id r.r_reachable r.r_view r.r_last_executed r.r_last_committed
         r.r_last_stable (Trace.escape r.r_stable_digest) r.r_queue_depth
-        r.r_backlog r.r_log_depth r.r_replay_dropped)
+        r.r_backlog r.r_log_depth r.r_replay_dropped r.r_shed)
     g.g_replicas;
   Buffer.add_string b "]}";
   Buffer.contents b
@@ -341,9 +371,17 @@ let check_slo t ~at =
     if p99 > t.limits.slo_p99 then begin
       if t.slo_armed then begin
         t.slo_armed <- false;
-        raise_alert t ~at
-          (Slo_breach
-             { p99; limit = t.limits.slo_p99; samples = Stats.Sketch.count sk })
+        (* Shedding by itself is healthy degradation (a gauge, never an
+           alert); a tail-latency breach on *admitted* traffic while the
+           system is already shedding means admission control is not
+           absorbing the excess — a distinct, actionable overload alert. *)
+        if t.shed_rate > 0.0 then
+          raise_alert t ~at
+            (Overload { shed_rate = t.shed_rate; p99; limit = t.limits.slo_p99 })
+        else
+          raise_alert t ~at
+            (Slo_breach
+               { p99; limit = t.limits.slo_p99; samples = Stats.Sketch.count sk })
       end
     end
     else if p99 < 0.8 *. t.limits.slo_p99 then t.slo_armed <- true
@@ -367,6 +405,22 @@ let observe t g =
     t.rate <-
       float_of_int (g.g_completed - prev.g_completed) /. (now -. prev.g_time)
   | _ -> ());
+  (* overload gauges: cumulative sheds, shed rate over the last interval,
+     explicit client rejections, and the highest queue depth ever observed
+     (the chaos queue-bound invariant reads [peak_queue]) *)
+  let shed_now = Array.fold_left (fun acc r -> acc + r.r_shed) 0 g.g_replicas in
+  (match t.last with
+  | Some prev when now > prev.g_time ->
+    let shed_prev =
+      Array.fold_left (fun acc r -> acc + r.r_shed) 0 prev.g_replicas
+    in
+    t.shed_rate <- float_of_int (shed_now - shed_prev) /. (now -. prev.g_time)
+  | _ -> ());
+  t.shed_total <- shed_now;
+  t.rejected_total <- g.g_rejected;
+  Array.iter
+    (fun r -> if r.r_queue_depth > t.peak_queue then t.peak_queue <- r.r_queue_depth)
+    g.g_replicas;
   (* view-change-rate gauge: cumulative view advances *)
   (match t.last with
   | Some prev ->
@@ -477,7 +531,7 @@ let summary t =
   Printf.sprintf
     "%s%d sample%s, %d alert%s; throughput %.0f ops/s; latency p50 %.2f ms \
      p95 %.2f ms p99 %.2f ms (%d ops); view changes %d; checkpoint lag %d; \
-     replay drops %d"
+     replay drops %d%s"
     (if t.group = "" then "" else t.group ^ ": ")
     t.seen
     (if t.seen = 1 then "" else "s")
@@ -486,6 +540,10 @@ let summary t =
     t.rate (quant Stats.Sketch.p50) (quant Stats.Sketch.p95)
     (quant Stats.Sketch.p99) (Stats.Sketch.count sk) t.view_changes
     (checkpoint_lag t) (replay_drops t)
+    (if t.shed_total = 0 && t.rejected_total = 0 then ""
+     else
+       Printf.sprintf "; shed %d (rejected %d, peak queue %d)" t.shed_total
+         t.rejected_total t.peak_queue)
 
 let alerts_json t =
   let b = Buffer.create 128 in

@@ -18,7 +18,12 @@
       pending;
     - {b divergent checkpoint}: two reachable replicas report different
       digests for the same stable checkpoint sequence number;
-    - {b SLO breach}: the streaming latency p99 exceeds [slo_p99].
+    - {b SLO breach}: the streaming latency p99 exceeds [slo_p99];
+    - {b overload}: the p99 of {e admitted} traffic exceeds [slo_p99]
+      while admission control is actively shedding — shedding by itself is
+      healthy degradation (a gauge, never an alert), but a tail-latency
+      breach on the traffic that {e was} admitted means the shed rate is
+      not absorbing the excess.
 
     Detectors are edge-triggered (one alert per episode, re-armed when the
     condition clears). The monitor is pure arithmetic over observations —
@@ -46,12 +51,14 @@ type replica_gauges = {
   r_backlog : int;  (** requests received but not yet executed *)
   r_log_depth : int;  (** live slots in the message log *)
   r_replay_dropped : int;  (** cumulative authenticator replays dropped *)
+  r_shed : int;  (** cumulative requests shed by admission control *)
 }
 
 (** One sampling tick over a whole replica group. *)
 type gauges = {
   g_time : float;
   g_completed : int;  (** cumulative client operations completed *)
+  g_rejected : int;  (** cumulative client operations explicitly rejected *)
   g_replicas : replica_gauges array;
 }
 
@@ -73,6 +80,7 @@ type alert_kind =
   | Silent_leader of { view : int; primary : int; silent_for : float }
   | Divergent_checkpoint of { seqno : int; replicas : (int * string) list }
   | Slo_breach of { p99 : float; limit : float; samples : int }
+  | Overload of { shed_rate : float; p99 : float; limit : float }
 
 type alert = { a_at : float; a_group : string; a_kind : alert_kind }
 
@@ -128,6 +136,20 @@ val checkpoint_lag : t -> int
 
 val replay_drops : t -> int
 (** Total authenticator replays dropped, newest tick. *)
+
+val shed_total : t -> int
+(** Total requests shed by admission control, newest tick. *)
+
+val shed_rate : t -> float
+(** Sheds per virtual second over the last sampling interval. *)
+
+val rejected_total : t -> int
+(** Total client operations explicitly rejected, newest tick. *)
+
+val peak_queue : t -> int
+(** Highest per-replica admission-queue depth ever observed — what the
+    chaos "queues stay bounded" invariant checks against the configured
+    [admission_queue_limit]. *)
 
 val samples_observed : t -> int
 (** Gauge ticks observed so far. *)

@@ -24,6 +24,17 @@ let split t label =
     label;
   create !h
 
+(* Pure variant of [split]: derives the child from the parent's current
+   state without advancing it, so the derivation cannot perturb sibling
+   streams. Two forks of an untouched parent with the same label return
+   identical streams — callers must use distinct labels. *)
+let fork t label =
+  let h = ref (mix64 (Int64.add t.state golden_gamma)) in
+  String.iter
+    (fun c -> h := mix64 (Int64.add (Int64.mul !h 31L) (Int64.of_int (Char.code c))))
+    label;
+  create !h
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let r = Int64.shift_right_logical (bits64 t) 1 in

@@ -13,8 +13,15 @@ val create : int64 -> t
 val of_int : int -> t
 
 (** [split t label] derives an independent generator; the same [label]
-    always yields the same stream. *)
+    always yields the same stream. Advances [t]: successive splits with
+    the same label differ. *)
 val split : t -> string -> t
+
+(** [fork t label] derives an independent generator {e without} advancing
+    [t], so the derivation cannot perturb sibling streams — the pure
+    counterpart of [split]. Successive forks of an untouched parent with
+    the same label return identical streams; use distinct labels. *)
+val fork : t -> string -> t
 
 (** [bits64 t] is the next raw 64-bit output. *)
 val bits64 : t -> int64

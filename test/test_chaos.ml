@@ -97,8 +97,8 @@ let clean_campaigns () =
 let injected_bug_caught_and_shrunk () =
   let root = Rng.of_int 42 in
   let rec find i =
-    if i > 9 then
-      Alcotest.fail "no-commit-quorum bug not caught in 10 campaigns"
+    if i > 14 then
+      Alcotest.fail "no-commit-quorum bug not caught in 15 campaigns"
     else
       let seed, plan, outcome = driver_campaign ~root ~unsafe:true i in
       if Campaign.failed outcome then (seed, plan, outcome) else find (i + 1)

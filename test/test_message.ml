@@ -129,6 +129,21 @@ let test_roundtrip_state_messages () =
   roundtrip (Message.Fetch_batch { Message.fb_view = 1; fb_seq = 3; fb_replica = 2 });
   roundtrip (Message.New_key { Message.nk_replica = 1; epoch = 4 })
 
+let test_roundtrip_busy () =
+  let msg =
+    Message.Busy
+      {
+        Message.bz_view = 3;
+        bz_timestamp = 99L;
+        bz_client = 1001;
+        bz_replica = 2;
+        bz_queue = 17;
+      }
+  in
+  roundtrip msg;
+  check Alcotest.int "no padding" 0 (Message.padding msg);
+  check Alcotest.string "tag name" "busy" (Message.tag_name msg)
+
 let test_envelope_with_commits () =
   let d = Fingerprint.of_string "x" in
   let commits =
@@ -274,6 +289,7 @@ let () =
           Alcotest.test_case "view-change" `Quick test_roundtrip_view_change;
           Alcotest.test_case "new-view" `Quick test_roundtrip_new_view;
           Alcotest.test_case "state transfer" `Quick test_roundtrip_state_messages;
+          Alcotest.test_case "busy" `Quick test_roundtrip_busy;
           Alcotest.test_case "piggybacked commits" `Quick test_envelope_with_commits;
           q request_roundtrip_prop;
         ] );

@@ -72,7 +72,7 @@ let sketch_deterministic_prop =
 
 let rg ?(reachable = true) ?(view = 0) ?(exec = 0) ?(committed = 0)
     ?(stable = 0) ?(digest = "d0") ?(queue = 0) ?(backlog = 0) ?(log = 0)
-    ?(replay = 0) id =
+    ?(replay = 0) ?(shed = 0) id =
   {
     Monitor.r_id = id;
     r_reachable = reachable;
@@ -85,10 +85,16 @@ let rg ?(reachable = true) ?(view = 0) ?(exec = 0) ?(committed = 0)
     r_backlog = backlog;
     r_log_depth = log;
     r_replay_dropped = replay;
+    r_shed = shed;
   }
 
-let tick ~at replicas completed =
-  { Monitor.g_time = at; g_completed = completed; g_replicas = replicas }
+let tick ?(rejected = 0) ~at replicas completed =
+  {
+    Monitor.g_time = at;
+    g_completed = completed;
+    g_rejected = rejected;
+    g_replicas = replicas;
+  }
 
 let kinds m = List.map (fun a -> Monitor.kind_name a.Monitor.a_kind) (Monitor.alerts m)
 
@@ -204,6 +210,51 @@ let contains hay needle =
   let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
   ln = 0 || go 0
 
+(* The overload detector distinguishes shedding-under-burst from an SLO
+   breach on admitted traffic: a p99 breach while replicas are actively
+   shedding raises [Overload] (degradation working as designed, operator
+   should see offered load), not [Slo_breach]. *)
+let test_overload_alert_when_shedding () =
+  let limits =
+    { Monitor.default_limits with Monitor.slo_p99 = 0.1; slo_min_samples = 10 }
+  in
+  let m = Monitor.create ~limits () in
+  Monitor.observe m (tick ~at:0.0 (Array.init 4 (fun id -> rg id)) 0);
+  for _ = 1 to 20 do
+    Monitor.observe_latency m 0.5
+  done;
+  Monitor.observe m
+    (tick ~at:0.5 ~rejected:2
+       (Array.init 4 (fun id -> rg ~shed:3 ~queue:14 ~exec:10 ~committed:10 id))
+       10);
+  check (Alcotest.list Alcotest.string) "overload, not slo_breach"
+    [ "monitor.overload" ] (kinds m);
+  (match Monitor.alerts m with
+  | [ { Monitor.a_kind = Monitor.Overload { shed_rate; p99; limit }; _ } ] ->
+    check Alcotest.bool "shed rate positive" true (shed_rate > 0.0);
+    check Alcotest.bool "p99 over limit" true (p99 > limit)
+  | _ -> Alcotest.fail "expected exactly one overload alert");
+  check Alcotest.int "sheds accumulated" 12 (Monitor.shed_total m);
+  check Alcotest.int "rejections tracked" 2 (Monitor.rejected_total m);
+  check Alcotest.int "peak queue tracked" 14 (Monitor.peak_queue m);
+  check Alcotest.bool "summary mentions shedding" true
+    (contains (Monitor.summary m) "shed 12 (rejected 2, peak queue 14)")
+
+(* Shedding alone — bursts absorbed with healthy latency on admitted
+   traffic — is graceful degradation, not an anomaly. *)
+let test_shedding_without_breach_stays_healthy () =
+  let m = Monitor.create () in
+  Monitor.observe m (tick ~at:0.0 (Array.init 4 (fun id -> rg id)) 0);
+  for _ = 1 to 20 do
+    Monitor.observe_latency m 0.001
+  done;
+  Monitor.observe m (tick ~at:0.5 (Array.init 4 (fun id -> rg ~shed:5 id)) 10);
+  Monitor.observe m (tick ~at:1.0 (Array.init 4 (fun id -> rg ~shed:9 id)) 20);
+  check Alcotest.int "no alerts" 0 (Monitor.alert_count m);
+  check Alcotest.bool "healthy" true (Monitor.healthy m);
+  check Alcotest.bool "shed rate measured" true (Monitor.shed_rate m > 0.0);
+  check Alcotest.int "sheds accumulated" 36 (Monitor.shed_total m)
+
 let test_campaign_crashed_primary_alerts () =
   let plan = [ { Plan.at = 1.0; action = Plan.Crash 0 } ] in
   let o = Campaign.run ~seed:42 ~plan () in
@@ -273,6 +324,10 @@ let () =
           Alcotest.test_case "divergent checkpoint" `Quick
             test_divergent_checkpoint_fires;
           Alcotest.test_case "SLO breach" `Quick test_slo_breach_fires;
+          Alcotest.test_case "overload replaces SLO breach while shedding"
+            `Quick test_overload_alert_when_shedding;
+          Alcotest.test_case "shedding without breach stays healthy" `Quick
+            test_shedding_without_breach_stays_healthy;
         ] );
       ( "campaign",
         [
