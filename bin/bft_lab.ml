@@ -504,12 +504,28 @@ let chaos_cmd =
             "Print each campaign's health-monitor summary to stderr (the \
              typed alerts are always part of the JSON line).")
   in
+  let rotating =
+    Arg.(
+      value & flag
+      & info [ "rotating" ]
+          ~doc:
+            "Run every campaign under rotating ordering (epoch length 2) \
+             and let the generator aim half its crash events at whichever \
+             replica owns the epoch when they fire — the handoff-window \
+             stress test for the rotation protocol.")
+  in
   let n_replicas = 4 in
-  let run seed campaigns plan_file horizon shrunk_out unsafe health trace_out
-      trace_cap =
+  let run seed campaigns plan_file horizon shrunk_out unsafe health rotating
+      trace_out trace_cap =
     let module Monitor = Bft_trace.Monitor in
+    let ordering =
+      if rotating then Bft_core.Config.Rotating { epoch_length = 2 }
+      else Bft_core.Config.Single_primary
+    in
     let run_plan ~seed plan =
-      let o = Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan () in
+      let o =
+        Campaign.run ~ordering ~unsafe_no_commit_quorum:unsafe ~seed ~plan ()
+      in
       if health then
         Printf.eprintf "health (seed %d): %s\n" seed
           (Monitor.summary o.Campaign.monitor);
@@ -542,8 +558,8 @@ let chaos_cmd =
       let module Trace = Bft_trace.Trace in
       let trace = Trace.create ~capacity:trace_cap () in
       ignore
-        (Campaign.run ~unsafe_no_commit_quorum:unsafe ~trace ~seed ~plan:shrunk
-           ());
+        (Campaign.run ~ordering ~unsafe_no_commit_quorum:unsafe ~trace ~seed
+           ~plan:shrunk ());
       let trace_path =
         try
           let oc = open_out trace_out in
@@ -571,7 +587,7 @@ let chaos_cmd =
       let root = Bft_util.Rng.of_int seed in
       for campaign = 0 to campaigns - 1 do
         let rng = Bft_util.Rng.split root (Printf.sprintf "campaign%d" campaign) in
-        let plan = Plan.generate ~rng ~n:n_replicas ~f:1 ~horizon in
+        let plan = Plan.generate ~rotating ~rng ~n:n_replicas ~f:1 ~horizon () in
         let campaign_seed = Bft_util.Rng.int rng (1 lsl 30) in
         let outcome = run_plan ~seed:campaign_seed plan in
         print_endline (Campaign.jsonl ~campaign outcome);
@@ -592,7 +608,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe
-      $ health $ trace_out $ trace_cap_arg)
+      $ health $ rotating $ trace_out $ trace_cap_arg)
 
 let bench_cmd =
   let doc =

@@ -105,16 +105,47 @@ let audit_replies replicas audited =
     audited;
   List.rev !violations
 
+(* Exactly-once execution per slot: [Replica.executed_digests] appends only
+   at finalization, so a sequence number appearing twice in one replica's
+   audit means a batch was ordered (and executed) twice — the failure mode
+   of a broken epoch handoff re-proposing a predecessor's slot. *)
+let audit_unique_execution replicas audited =
+  List.filter_map
+    (fun rid ->
+      let seqs = List.map fst (Replica.executed_digests replicas.(rid)) in
+      let dup =
+        let seen = Hashtbl.create 256 in
+        List.find_opt
+          (fun s ->
+            if Hashtbl.mem seen s then true
+            else (
+              Hashtbl.replace seen s ();
+              false))
+          seqs
+      in
+      Option.map
+        (fun s ->
+          {
+            invariant = "safety.unique_execution";
+            detail = Printf.sprintf "replica %d executed seq %d twice" rid s;
+          })
+        dup)
+    audited
+
 let plan_text plan =
   String.concat "; "
     (List.map
        (fun e -> Format.asprintf "%.6f %a" e.Plan.at Plan.pp_action e.Plan.action)
        plan)
 
-let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
-    ?limits ?on_bundle ~seed ~plan () =
+let ordering_text = function
+  | Config.Single_primary -> "single-primary"
+  | Config.Rotating { epoch_length } -> Printf.sprintf "rotating-%d" epoch_length
+
+let run ?(ordering = Config.Single_primary) ?(unsafe_no_commit_quorum = false)
+    ?(trace = Bft_trace.Trace.nil) ?limits ?on_bundle ~seed ~plan () =
   let config =
-    Config.make ~f ~checkpoint_interval:8 ~log_window:16
+    Config.make ~f ~checkpoint_interval:8 ~log_window:16 ~ordering
       ~admission_queue_limit ~shed_retry_budget ~unsafe_no_commit_quorum ()
   in
   let n = config.Config.n in
@@ -134,6 +165,7 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
     [
       ("campaign.seed", string_of_int seed);
       ("campaign.f", string_of_int f);
+      ("campaign.ordering", ordering_text ordering);
       ("campaign.plan", plan_text plan);
     ];
   Monitor.set_flight_recorder ~trace
@@ -248,6 +280,25 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
     | Plan.Crash r ->
       crashed.(r) <- true;
       Cluster.crash_replica cluster r
+    | Plan.Crash_owner ->
+      (* Resolved at fire time: whichever replica the most advanced
+         reachable replica says owns the next sequence number (the epoch
+         owner under rotating ordering, the primary otherwise). A fully
+         crashed cluster has no reporter; then there is nothing to crash. *)
+      let reporter = ref None in
+      Array.iteri
+        (fun i r ->
+          if Network.is_up network (Cluster.replica_node cluster i) then
+            match !reporter with
+            | Some best when Replica.view best >= Replica.view r -> ()
+            | _ -> reporter := Some r)
+        (Cluster.replicas cluster);
+      (match !reporter with
+      | None -> ()
+      | Some r ->
+        let owner = Replica.ordering_owner r in
+        crashed.(owner) <- true;
+        Cluster.crash_replica cluster owner)
     | Plan.Restart r ->
       crashed.(r) <- false;
       Cluster.restart_replica cluster r
@@ -308,7 +359,11 @@ let run ?(unsafe_no_commit_quorum = false) ?(trace = Bft_trace.Trace.nil)
   let ops_total () = !issued + burst_total + !ol_offered in
   let resolved () = !completed + !rejected in
   let rec settle t slack =
-    let safety = audit_agreement replicas audited @ audit_replies replicas audited in
+    let safety =
+      audit_agreement replicas audited
+      @ audit_replies replicas audited
+      @ audit_unique_execution replicas audited
+    in
     if safety <> [] then violations := safety
     else if resolved () >= ops_total () && slack >= 2 then ()
     else if t >= deadline then begin

@@ -25,7 +25,8 @@
 
 type violation = { invariant : string; detail : string }
 (** [invariant] is a stable dotted name ("safety.agreement",
-    "safety.replies", "overload.no_silent_loss", "overload.queue_bounded",
+    "safety.replies", "safety.unique_execution",
+    "overload.no_silent_loss", "overload.queue_bounded",
     "liveness.views"). *)
 
 type outcome = {
@@ -52,6 +53,7 @@ type outcome = {
 val failed : outcome -> bool
 
 val run :
+  ?ordering:Bft_core.Config.ordering ->
   ?unsafe_no_commit_quorum:bool ->
   ?trace:Bft_trace.Trace.t ->
   ?limits:Bft_trace.Monitor.limits ->
@@ -60,10 +62,14 @@ val run :
   plan:Plan.t ->
   unit ->
   outcome
-(** Runs entirely in virtual time; [unsafe_no_commit_quorum] is the
-    deliberately unsound protocol variant used to self-test the checker
-    ({!Bft_core.Config.t}). Pass a live [trace] to record the campaign's
-    protocol trace — used to make shrunk failures inspectable.
+(** Runs entirely in virtual time; [ordering] (default
+    {!Bft_core.Config.Single_primary}) selects the cluster's ordering
+    mode, so crash-the-epoch-owner campaigns can run the protocol under
+    {!Bft_core.Config.Rotating} leadership; [unsafe_no_commit_quorum] is
+    the deliberately unsound protocol variant used to self-test the
+    checker ({!Bft_core.Config.t}). Pass a live [trace] to record the
+    campaign's protocol trace — used to make shrunk failures
+    inspectable.
 
     Every campaign runs with an always-on health monitor attached
     ({!Bft_trace.Monitor}): detector thresholds come from [limits]

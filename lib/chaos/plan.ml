@@ -3,6 +3,7 @@ module Rng = Bft_util.Rng
 
 type action =
   | Crash of Bft_core.Types.replica_id
+  | Crash_owner
   | Restart of Bft_core.Types.replica_id
   | Partition of Bft_core.Types.replica_id list list
   | Heal
@@ -39,6 +40,7 @@ let groups_to_string groups =
 
 let pp_action ppf = function
   | Crash r -> Format.fprintf ppf "crash %d" r
+  | Crash_owner -> Format.fprintf ppf "crash-owner"
   | Restart r -> Format.fprintf ppf "restart %d" r
   | Partition groups -> Format.fprintf ppf "partition %s" (groups_to_string groups)
   | Heal -> Format.fprintf ppf "heal"
@@ -68,6 +70,7 @@ let parse_groups s =
 let parse_line line =
   match String.split_on_char ' ' (String.trim line) with
   | [ at; "crash"; r ] -> { at = float_of_string at; action = Crash (int_of_string r) }
+  | [ at; "crash-owner" ] -> { at = float_of_string at; action = Crash_owner }
   | [ at; "restart"; r ] ->
     { at = float_of_string at; action = Restart (int_of_string r) }
   | [ at; "partition"; groups ] ->
@@ -132,6 +135,7 @@ let validate ~n t =
     in
     match e.action with
     | Crash r -> check_id r "crash"
+    | Crash_owner -> Ok ()
     | Restart r -> check_id r "restart"
     | Heal -> Ok ()
     | Set_loss p -> check_prob p "loss"
@@ -204,9 +208,18 @@ let byzantine_menu =
     Behavior.Inflate_view 1_000_000;
   |]
 
-let generate ~rng ~n ~f ~horizon =
+let generate ?(rotating = false) ~rng ~n ~f ~horizon () =
   let faulty = pick_fault_set rng ~n ~f in
   let faulty_one () = List.nth faulty (Rng.int rng (List.length faulty)) in
+  (* A crash-owner resolves to an arbitrary replica at fire time, so it
+     cannot share a plan with fault-set crashes or Byzantine switches: the
+     owner it hits may lie outside the fault set, and two budgeted faults
+     on distinct replicas would exceed the f-replica assumption the
+     campaign checker's liveness bounds rely on. Owner-mode plans spend
+     their whole fault budget on a single crash-owner; the coin is only
+     tossed under [rotating], keeping the default RNG stream untouched. *)
+  let owner_mode = rotating && Rng.bernoulli rng 0.5 in
+  let owner_crashed = ref false in
   let t_in lo hi = lo +. Rng.float rng (hi -. lo) in
   let count = 2 + Rng.int rng 5 in
   let events = ref [] in
@@ -224,18 +237,38 @@ let generate ~rng ~n ~f ~horizon =
     match Rng.int rng 8 with
     | 0 ->
       (* crash, and usually restart before the horizon so the plan itself
-         exercises restart-from-checkpoint (the forced heal covers the rest) *)
-      let r = faulty_one () in
-      lead_burst at;
-      emit at (Crash r);
-      if Rng.bernoulli rng 0.7 then
-        emit (t_in at (0.95 *. horizon)) (Restart r)
+         exercises restart-from-checkpoint (the forced heal covers the rest).
+         Owner-mode plans instead aim one crash at whichever replica owns
+         the next sequence number when the event fires — the epoch handoff
+         is exactly the window a broken rotation loses batches in. The
+         owner is unpredictable at generation time, so a crash-owner is
+         left down until the campaign's forced heal (crashes are benign:
+         they cost liveness during the window, never safety). *)
+      if owner_mode then begin
+        if not !owner_crashed then begin
+          owner_crashed := true;
+          lead_burst at;
+          emit at Crash_owner
+        end
+        else emit at (Client_burst (1 + Rng.int rng 6))
+      end
+      else begin
+        let r = faulty_one () in
+        lead_burst at;
+        emit at (Crash r);
+        if Rng.bernoulli rng 0.7 then
+          emit (t_in at (0.95 *. horizon)) (Restart r)
+      end
     | 1 ->
       lead_burst at;
       emit at (Partition (random_partition rng ~n));
       if Rng.bernoulli rng 0.8 then emit (t_in at (0.95 *. horizon)) Heal
     | 2 -> emit at (Set_loss (Rng.float rng 0.35))
     | 3 -> emit at (Set_dup (Rng.float rng 0.15))
+    | 4 when owner_mode ->
+      (* Byzantine switches also spend fault budget; an owner-mode plan
+         has already committed its budget to the crash-owner. *)
+      emit at (Client_burst (1 + Rng.int rng 6))
     | 4 ->
       let r = faulty_one () in
       let b =

@@ -16,6 +16,11 @@
 
 type action =
   | Crash of Bft_core.Types.replica_id  (** fail-stop the machine (datagrams dropped) *)
+  | Crash_owner
+      (** fail-stop whichever replica owns the next sequence number when
+          the event fires (the current epoch owner under rotating
+          ordering; the primary under single-primary ordering) — resolved
+          against live replica state at execution time *)
   | Restart of Bft_core.Types.replica_id
       (** bring the machine up and reboot the replica from its last stable
           checkpoint; also meaningful without a prior [Crash] (a reboot) *)
@@ -61,7 +66,15 @@ val validate : n:int -> t -> (unit, string) result
     and ramp rates/durations positive, partition groups disjoint, times
     non-negative. *)
 
-val generate : rng:Bft_util.Rng.t -> n:int -> f:int -> horizon:float -> t
+val generate :
+  ?rotating:bool -> rng:Bft_util.Rng.t -> n:int -> f:int -> horizon:float -> unit -> t
 (** A random plan whose events all fire before [horizon]. Deterministic in
     [rng]. Crash and Byzantine targets are confined to a fault set of [f]
-    replicas drawn once per plan (see the module comment). *)
+    replicas drawn once per plan (see the module comment). With [rotating]
+    (default false), half the plans become owner-mode: their entire fault
+    budget is one {!Crash_owner} — aimed at whichever replica owns the
+    epoch in progress when it fires — and fault-set crashes and Byzantine
+    switches are suppressed, since the owner hit at runtime may lie
+    outside the fault set and a second budgeted fault could exceed [f]
+    simultaneously-faulty replicas. The default keeps existing seeds
+    producing byte-identical plans. *)

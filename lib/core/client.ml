@@ -91,6 +91,24 @@ let view_estimate t =
 
 let primary_peer t = t.replicas.(primary_of_view ~n:t.config.Config.n (view_estimate t))
 
+(* Where a fresh request goes. In rotating-ordering mode clients are
+   spread over the orderers by the same (client + view) mod n map the
+   replicas use, so ingestion cost is divided n ways instead of
+   concentrating on the view primary. Retransmissions multicast (see
+   [retransmit]), so a wrong estimate costs one timeout, never liveness. *)
+let home_peer t =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> primary_peer t
+  | Config.Rotating _ ->
+    t.replicas.((id t + view_estimate t) mod t.config.Config.n)
+
+(* The replica whose BUSY (admission-control shed) replies are credible:
+   the one our fresh requests are routed to. *)
+let shedding_orderer t =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> primary_of_view ~n:t.config.Config.n (view_estimate t)
+  | Config.Rotating _ -> (id t + view_estimate t) mod t.config.Config.n
+
 let all_peers t = Array.to_list t.replicas
 
 let request_of t p =
@@ -112,7 +130,7 @@ let transmit t p =
        && Payload.size p.op > t.config.Config.inline_threshold)
   in
   if multicast_it then Transport.multicast t.transport ~dsts:(all_peers t) msg
-  else Transport.send t.transport ~dst:(primary_peer t) msg
+  else Transport.send t.transport ~dst:(home_peer t) msg
 
 (* Jittered exponential backoff: [base * min(cap, 2^attempt)], then
    stretched by a seeded jitter factor in [1.0, 1.25) so that a burst of
@@ -343,8 +361,7 @@ let create ~config ~transport ~replicas ~rng ~dispatcher () =
         | Some p
           when b.Message.bz_timestamp = p.ts
                && env.Message.sender = b.Message.bz_replica
-               && b.Message.bz_replica
-                  = primary_of_view ~n:t.config.Config.n (view_estimate t) ->
+               && b.Message.bz_replica = shedding_orderer t ->
           handle_busy t p
         | _ -> Metrics.incr t.metrics "busy.stale")
       | _ -> Metrics.incr t.metrics "unexpected")

@@ -175,6 +175,7 @@ let health_gauges t =
           r_replay_dropped =
             Metrics.count (Replica.metrics r) "auth.replay_dropped";
           r_shed = Replica.sheds r;
+          r_ordering_owner = Replica.ordering_owner r;
         })
       t.replicas
   in

@@ -1,5 +1,7 @@
 type shed_policy = Reject_new | Drop_oldest
 
+type ordering = Single_primary | Rotating of { epoch_length : int }
+
 type t = {
   f : int;
   n : int;
@@ -24,6 +26,7 @@ type t = {
   admission_queue_limit : int;
   shed_policy : shed_policy;
   shed_retry_budget : int;
+  ordering : ordering;
 }
 
 let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
@@ -35,7 +38,7 @@ let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
     ?(batching = true) ?(separate_request_transmission = true)
     ?(public_key_signatures = false) ?(unsafe_no_commit_quorum = false)
     ?(admission_queue_limit = 0) ?(shed_policy = Reject_new)
-    ?(shed_retry_budget = 8) ~f () =
+    ?(shed_retry_budget = 8) ?(ordering = Single_primary) ~f () =
   {
     f;
     n = (3 * f) + 1;
@@ -60,6 +63,7 @@ let make ?(checkpoint_interval = 128) ?(log_window = 256) ?(batch_window = 1)
     admission_queue_limit;
     shed_policy;
     shed_retry_budget;
+    ordering;
   }
 
 let validate t =
@@ -74,4 +78,9 @@ let validate t =
     Error "admission queue limit must be non-negative (0 disables shedding)"
   else if t.shed_retry_budget < 0 then
     Error "shed retry budget must be non-negative"
-  else Ok ()
+  else
+    match t.ordering with
+    | Single_primary -> Ok ()
+    | Rotating { epoch_length } ->
+      if epoch_length < 1 then Error "epoch length must be positive"
+      else Ok ()

@@ -8,6 +8,21 @@ type shed_policy =
       (** a full admission queue evicts its oldest queued request (which is
           shed with a [Busy] reply) and admits the incoming one *)
 
+type ordering =
+  | Single_primary
+      (** the paper's protocol: within a view, replica [view mod n] orders
+          every sequence number *)
+  | Rotating of { epoch_length : int }
+      (** ordering leadership rotates deterministically: sequence numbers
+          are partitioned into epochs of [epoch_length] slots and epoch
+          [e] is ordered by replica [(view + e) mod n], so distinct
+          replicas order disjoint seqno ranges concurrently and the
+          MAC-generation/encode cost of ordering spreads across the
+          group (the FnF-BFT parallel-leader idea). Execution stays in
+          global seqno order; an epoch's first PRE-PREPARE carries the
+          predecessor epoch's closing commit point, and view change
+          subsumes a failed epoch owner. *)
+
 type t = {
   f : int;  (** tolerated faults; [n = 3f + 1] *)
   n : int;
@@ -51,6 +66,8 @@ type t = {
   shed_retry_budget : int;
       (** how many [Busy] replies a client absorbs (retrying with jittered
           exponential backoff) before reporting the operation as rejected *)
+  ordering : ordering;
+      (** who orders which sequence numbers (default [Single_primary]) *)
 }
 
 val make :
@@ -75,6 +92,7 @@ val make :
   ?admission_queue_limit:int ->
   ?shed_policy:shed_policy ->
   ?shed_retry_budget:int ->
+  ?ordering:ordering ->
   f:int ->
   unit ->
   t

@@ -5,6 +5,10 @@ type slot = {
   seq : seqno;
   mutable pre_prepare : (view * Message.batch_entry list) option;
   mutable pp_digest : Fingerprint.t option;
+  mutable proposer : replica_id;
+      (* who proposed the accepted pre-prepare (-1 if none yet); its
+         PRE-PREPARE counts as its prepare, so its PREPARE (if any) must
+         not also count towards the certificate *)
   mutable missing_bodies : Fingerprint.t list;
   prepares : (replica_id, view * Fingerprint.t) Hashtbl.t;
   commits : (replica_id, view * Fingerprint.t) Hashtbl.t;
@@ -38,6 +42,7 @@ let new_slot seq =
     seq;
     pre_prepare = None;
     pp_digest = None;
+    proposer = -1;
     missing_bodies = [];
     prepares = Hashtbl.create 8;
     commits = Hashtbl.create 8;
@@ -103,7 +108,17 @@ let commit_count slot view digest = count_matching slot.commits view digest
 let is_prepared slot ~f view =
   match (slot.pre_prepare, slot.pp_digest) with
   | Some (v, _), Some digest when v = view ->
-    slot.missing_bodies = [] && prepare_count slot view digest >= 2 * f
+    (* The proposer's own PREPARE (if it ever sent one, e.g. before it
+       became the proposer via a view change) must not double-count with
+       its PRE-PREPARE: a certificate is 2f+1 *distinct* replicas. In
+       single-primary mode the primary's prepares are already dropped at
+       receive time, so the subtraction is a no-op there. *)
+    let own =
+      match Hashtbl.find_opt slot.prepares slot.proposer with
+      | Some (v', d) when v' = view && Fingerprint.equal d digest -> 1
+      | _ -> 0
+    in
+    slot.missing_bodies = [] && prepare_count slot view digest - own >= 2 * f
   | _ -> false
 
 (* A certificate of 2f+1 matching commits implies at least f+1 correct

@@ -14,6 +14,9 @@ type slot = {
   seq : seqno;
   mutable pre_prepare : (view * Message.batch_entry list) option;
   mutable pp_digest : Fingerprint.t option;
+  mutable proposer : replica_id;
+      (** who proposed the accepted pre-prepare (-1 if none yet); its
+          prepare, if any, is excluded from the certificate count *)
   mutable missing_bodies : Fingerprint.t list;
       (** summaries in the pre-prepare whose request bodies we still lack *)
   prepares : (replica_id, view * Fingerprint.t) Hashtbl.t;

@@ -18,6 +18,17 @@ type batch_entry = Full of request | Summary of Fingerprint.t | Null_entry
 
 type pre_prepare = { view : view; seq : seqno; entries : batch_entry list }
 
+(* Rotating-ordering pre-prepare: an epoch's first PRE-PREPARE additionally
+   carries the proposer's closing commit point for the predecessor epochs,
+   so receivers can fill their own abandoned slots below the new epoch.
+   A separate wire tag keeps single-primary traffic byte-identical. *)
+type ordered_pre_prepare = {
+  opp_view : view;
+  opp_seq : seqno;
+  opp_close : seqno;
+  opp_entries : batch_entry list;
+}
+
 type prepare = { view : view; seq : seqno; digest : Fingerprint.t; replica : replica_id }
 
 type commit = { view : view; seq : seqno; digest : Fingerprint.t; replica : replica_id }
@@ -113,6 +124,7 @@ type t =
   | New_key of new_key
   | Status of status
   | Busy of busy
+  | Ordered_pre_prepare of ordered_pre_prepare
 
 type envelope = { sender : int; msg : t; commits : commit list; auth : Auth.t }
 
@@ -347,6 +359,12 @@ let encode_msg enc = function
     Enc.u32 enc b.bz_client;
     Enc.u16 enc b.bz_replica;
     Enc.u32 enc b.bz_queue
+  | Ordered_pre_prepare o ->
+    Enc.u8 enc 18;
+    Enc.u32 enc o.opp_view;
+    Enc.u64 enc (Int64.of_int o.opp_seq);
+    Enc.u64 enc (Int64.of_int o.opp_close);
+    Enc.list enc enc_entry o.opp_entries
 
 let decode_msg dec =
   match Dec.u8 dec with
@@ -417,6 +435,12 @@ let decode_msg dec =
     let bz_replica = Dec.u16 dec in
     let bz_queue = Dec.u32 dec in
     Busy { bz_view; bz_timestamp; bz_client; bz_replica; bz_queue }
+  | 18 ->
+    let opp_view = Dec.u32 dec in
+    let opp_seq = Int64.to_int (Dec.u64 dec) in
+    let opp_close = Int64.to_int (Dec.u64 dec) in
+    let opp_entries = Dec.list dec dec_entry in
+    Ordered_pre_prepare { opp_view; opp_seq; opp_close; opp_entries }
   | tag -> raise (Codec.Decode_error (Printf.sprintf "bad message tag %d" tag))
 
 let encode_body msg =
@@ -510,6 +534,8 @@ let entry_padding = function Full r -> r.op.Payload.pad | Summary _ | Null_entry
 let padding = function
   | Request r -> r.op.Payload.pad
   | Pre_prepare p -> List.fold_left (fun acc e -> acc + entry_padding e) 0 p.entries
+  | Ordered_pre_prepare o ->
+    List.fold_left (fun acc e -> acc + entry_padding e) 0 o.opp_entries
   | Reply { body = Full_result p; _ } -> p.Payload.pad
   | Reply _ -> 0
   | State s -> s.snapshot.Payload.pad
@@ -564,6 +590,7 @@ let envelope_size env wire = String.length wire + padding env.msg
 let tag_name = function
   | Request _ -> "request"
   | Pre_prepare _ -> "pre-prepare"
+  | Ordered_pre_prepare _ -> "ordered-pre-prepare"
   | Prepare _ -> "prepare"
   | Commit _ -> "commit"
   | Reply _ -> "reply"

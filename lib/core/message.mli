@@ -31,6 +31,17 @@ type batch_entry =
 
 type pre_prepare = { view : view; seq : seqno; entries : batch_entry list }
 
+(** Rotating-ordering PRE-PREPARE (epoch-first slots only): [opp_close] is
+    the proposer's closing commit point for the predecessor epochs, so
+    receivers can fill their own abandoned slots below the new epoch. A
+    separate wire tag keeps single-primary traffic byte-identical. *)
+type ordered_pre_prepare = {
+  opp_view : view;
+  opp_seq : seqno;
+  opp_close : seqno;
+  opp_entries : batch_entry list;
+}
+
 type prepare = { view : view; seq : seqno; digest : Fingerprint.t; replica : replica_id }
 
 type commit = { view : view; seq : seqno; digest : Fingerprint.t; replica : replica_id }
@@ -140,6 +151,7 @@ type t =
   | New_key of new_key
   | Status of status
   | Busy of busy
+  | Ordered_pre_prepare of ordered_pre_prepare
 
 type envelope = {
   sender : int;  (** principal id: replica or client *)

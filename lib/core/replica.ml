@@ -110,6 +110,62 @@ let primary_id t = primary_of_view ~n:t.config.Config.n t.view
 
 let is_primary t = primary_id t = t.id
 
+(* --- ordering mode: who proposes which sequence numbers ----------------
+
+   [Single_primary] is the paper's protocol: the view primary orders every
+   slot. Under [Rotating { epoch_length }] sequence numbers are partitioned
+   into epochs of [epoch_length] slots and epoch [e] is ordered by replica
+   [(view + e) mod n] — distinct replicas order disjoint seqno ranges
+   concurrently, and a view change rotates every epoch owner at once
+   (subsuming a failed owner). Execution stays in global seqno order. *)
+
+let rotating t =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> false
+  | Config.Rotating _ -> true
+
+let seq_owner t s =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> primary_id t
+  | Config.Rotating { epoch_length } ->
+    (t.view + ((s - 1) / epoch_length)) mod t.config.Config.n
+
+let owns_seq t s = seq_owner t s = t.id
+
+(* First sequence number of the epoch containing [s]. *)
+let epoch_first_seq t s =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> s
+  | Config.Rotating { epoch_length } ->
+    (((s - 1) / epoch_length) * epoch_length) + 1
+
+(* Smallest sequence number > [from] this replica may propose at. *)
+let next_owned_seq t from =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> from + 1
+  | Config.Rotating { epoch_length } ->
+    let n = t.config.Config.n in
+    let s = from + 1 in
+    let e = (s - 1) / epoch_length in
+    let delta = (((t.id - t.view - e) mod n) + n) mod n in
+    if delta = 0 then s else (((e + delta) * epoch_length) + 1)
+
+(* In rotating mode every replica is an orderer (of its own slots). *)
+let is_orderer t = rotating t || is_primary t
+
+(* The ordering replica a client's fresh requests are routed to. The map
+   shifts with the view so a view change re-homes the clients of a failed
+   orderer; clients compute the same function over their view estimate. *)
+let home_orderer t client =
+  match t.config.Config.ordering with
+  | Config.Single_primary -> primary_id t
+  | Config.Rotating _ -> (client + t.view) mod t.config.Config.n
+
+let orders_for t client = home_orderer t client = t.id
+
+(* Health-monitor gauge: who must propose the next uncommitted slot. *)
+let ordering_owner t = seq_owner t (t.last_committed + 1)
+
 let last_executed t = t.last_executed
 
 let last_committed t = t.last_committed
@@ -395,7 +451,7 @@ and do_resends t =
     let next = t.last_committed + 1 in
     (match Log.find t.log next with
     | Some ({ Log.pre_prepare = Some (v, entries); _ } as slot) when v = t.view ->
-      if is_primary t then
+      if slot.Log.proposer = t.id then
         out_multicast t (Message.Pre_prepare { view = t.view; seq = next; entries })
       else if slot.Log.own_prepare_sent then (
         match slot.Log.pp_digest with
@@ -410,14 +466,33 @@ and do_resends t =
             (Message.Commit { view = t.view; seq = next; digest; replica = t.id })
         | None -> ())
     | _ ->
-      (* we never saw the pre-prepare: ask the primary for it if later
+      (* we never saw the pre-prepare: ask its proposer for it if later
          slots prove the sequence number was used *)
       let later = ref false in
       Log.iter t.log (fun slot ->
           if slot.Log.seq > next && slot.Log.pre_prepare <> None then later := true);
-      if !later && not (is_primary t) then
+      if !later && seq_owner t next <> t.id then
         out_multicast t
           (Message.Fetch_batch { fb_view = t.view; fb_seq = next; fb_replica = t.id }));
+    (* Rotating mode: a crashed or partitioned epoch owner stalls global
+       execution at its slots. After a full retransmission tick with no
+       commit progress, the view primary reclaims the stalled range
+       Mencius-style: every unproposed in-window slot up to the proposal
+       frontier is filled with the null request (receivers accept only
+       null batches from the primary for slots it does not own). A failed
+       recurring owner thus costs one retransmission delay, not a view
+       change per epoch it owns. *)
+    if rotating t && is_primary t && t.resend_stalls >= 1 then begin
+      let upto = Stdlib.min t.max_pp_seen (Log.high_watermark t.log) in
+      for s = t.last_committed + 1 to upto do
+        if Log.in_window t.log s then
+          match Log.find t.log s with
+          | Some { Log.pp_digest = Some _; _ } -> ()
+          | _ ->
+            Metrics.incr t.metrics "rotate.reclaim";
+            send_pre_prepare t s [ Message.Null_entry ]
+      done
+    end;
     (* re-multicast unstable checkpoint votes *)
     Hashtbl.iter
       (fun seq digest ->
@@ -680,7 +755,7 @@ and advance t =
           | _ -> ()
       end
     done;
-    if is_primary t then try_send_batch t
+    if is_orderer t then try_send_batch t
   end
 
 (* --- checkpoints ------------------------------------------------------- *)
@@ -759,7 +834,7 @@ and make_stable t seq digest =
   drop_matching t.stable_certs (fun s ->
       s > seq - (stable_cert_retention_windows * t.config.Config.log_window));
   Metrics.incr t.metrics "checkpoint.stable";
-  if is_primary t then try_send_batch t
+  if is_orderer t then try_send_batch t
 
 (* --- state transfer ---------------------------------------------------- *)
 
@@ -1006,48 +1081,65 @@ and request_wire_size (r : Message.request) =
   32 + String.length r.Message.op.Payload.data + r.Message.op.Payload.pad
 
 and try_send_batch t =
-  if is_primary t && t.status = Normal && not (Queue.is_empty t.pending) then begin
+  if is_orderer t && t.status = Normal && not (Queue.is_empty t.pending) then begin
     let cfg = t.config in
+    let next_seq =
+      if rotating t then
+        (* Only slots in our epochs; skip to the next epoch we own. *)
+        next_owned_seq t (Stdlib.max t.last_pp_seq t.last_stable)
+      else Stdlib.max (t.last_pp_seq + 1) (t.last_stable + 1)
+    in
     let window_open =
       (not cfg.Config.batching)
-      || t.last_pp_seq < t.last_executed + cfg.Config.batch_window
+      ||
+      if rotating t then
+        (* n orderers pipeline concurrently: each may run a batch_window of
+           its own slots ahead of execution. *)
+        next_seq <= t.last_executed + (cfg.Config.batch_window * cfg.Config.n)
+      else t.last_pp_seq < t.last_executed + cfg.Config.batch_window
     in
-    let next_seq = Stdlib.max (t.last_pp_seq + 1) (t.last_stable + 1) in
     if window_open && Log.in_window t.log next_seq then begin
-      (* Pick requests off the queue up to the batch bound, deciding each
-         request's shape (inline vs digest summary) exactly once. *)
-      let entries = ref [] and bytes = ref 0 and count = ref 0 in
-      let continue = ref true in
-      while !continue && not (Queue.is_empty t.pending) do
-        let r = Queue.peek t.pending in
-        let summarize =
-          cfg.Config.separate_request_transmission
-          && Payload.size r.Message.op > cfg.Config.inline_threshold
-        in
-        let sz = if summarize then Fingerprint.size else request_wire_size r in
-        if
-          !count > 0
-          && (!bytes + sz > cfg.Config.max_batch_bytes
-             || !count >= cfg.Config.max_batch_requests
-             || not cfg.Config.batching)
-        then continue := false
-        else begin
-          ignore (Queue.pop t.pending);
-          bytes := !bytes + sz;
-          incr count;
-          let entry =
-            if summarize then Message.Summary (Message.request_digest r)
-            else Message.Full r
+      match Log.find t.log next_seq with
+      | Some { Log.pp_digest = Some _; _ } when rotating t ->
+        (* Someone already proposed here (NEW-VIEW re-proposal or a primary
+           reclaim): move our cursor past it. *)
+        t.last_pp_seq <- Stdlib.max t.last_pp_seq next_seq;
+        try_send_batch t
+      | _ ->
+        (* Pick requests off the queue up to the batch bound, deciding each
+           request's shape (inline vs digest summary) exactly once. *)
+        let entries = ref [] and bytes = ref 0 and count = ref 0 in
+        let continue = ref true in
+        while !continue && not (Queue.is_empty t.pending) do
+          let r = Queue.peek t.pending in
+          let summarize =
+            cfg.Config.separate_request_transmission
+            && Payload.size r.Message.op > cfg.Config.inline_threshold
           in
-          entries := entry :: !entries
-        end
-      done;
-      let entries = List.rev !entries in
-      send_pre_prepare t next_seq entries;
-      Metrics.incr t.metrics "batch.sent";
-      Metrics.sample t.metrics "batch.size" (float_of_int !count);
-      (* Keep draining if more requests and window allows. *)
-      try_send_batch t
+          let sz = if summarize then Fingerprint.size else request_wire_size r in
+          if
+            !count > 0
+            && (!bytes + sz > cfg.Config.max_batch_bytes
+               || !count >= cfg.Config.max_batch_requests
+               || not cfg.Config.batching)
+          then continue := false
+          else begin
+            ignore (Queue.pop t.pending);
+            bytes := !bytes + sz;
+            incr count;
+            let entry =
+              if summarize then Message.Summary (Message.request_digest r)
+              else Message.Full r
+            in
+            entries := entry :: !entries
+          end
+        done;
+        let entries = List.rev !entries in
+        send_pre_prepare t next_seq entries;
+        Metrics.incr t.metrics "batch.sent";
+        Metrics.sample t.metrics "batch.size" (float_of_int !count);
+        (* Keep draining if more requests and window allows. *)
+        try_send_batch t
     end
   end
 
@@ -1056,9 +1148,12 @@ and send_pre_prepare t seq entries =
   let slot = Log.get t.log seq in
   slot.Log.pre_prepare <- Some (t.view, entries);
   slot.Log.pp_digest <- Some digest;
+  slot.Log.proposer <- t.id;
   slot.Log.missing_bodies <- [];
   Hashtbl.replace t.batch_store digest (seq, entries);
-  t.last_pp_seq <- seq;
+  (* [max]: a rotating-mode primary reclaim can propose below our own
+     cursor; the cursor must never move backwards. *)
+  t.last_pp_seq <- Stdlib.max t.last_pp_seq seq;
   t.max_pp_seen <- Stdlib.max t.max_pp_seen seq;
   let pp = { Message.view = t.view; seq; entries } in
   (match t.behavior with
@@ -1073,7 +1168,20 @@ and send_pre_prepare t seq entries =
         in
         out_send t ~dst:p msg)
       (peers_except_self t)
-  | _ -> out_multicast t (Message.Pre_prepare pp));
+  | _ ->
+    if rotating t && owns_seq t seq && seq = epoch_first_seq t seq then
+      (* The epoch-first PRE-PREPARE is the handoff: it carries our
+         committed prefix so receivers can close out their own abandoned
+         slots below this epoch. *)
+      out_multicast t
+        (Message.Ordered_pre_prepare
+           {
+             opp_view = t.view;
+             opp_seq = seq;
+             opp_close = t.last_committed;
+             opp_entries = entries;
+           })
+    else out_multicast t (Message.Pre_prepare pp));
   Metrics.incr t.metrics "preprepare.sent";
   emit_trace t ~seqno:seq ~view:t.view
     ~detail:(string_of_int (List.length entries))
@@ -1165,7 +1273,7 @@ and on_pre_prepare t sender (pp : Message.pre_prepare) =
       slot.Log.missing_bodies <- compute_missing t pp.Message.entries;
       if slot.Log.missing_bodies = [] then begin
         Hashtbl.replace t.batch_store digest (slot.Log.seq, pp.Message.entries);
-        if not (is_primary t) then send_prepare t slot;
+        if slot.Log.proposer <> t.id then send_prepare t slot;
         check_prepared t slot;
         advance t
       end;
@@ -1178,7 +1286,13 @@ and on_pre_prepare t sender (pp : Message.pre_prepare) =
   | existing -> (
     if
       t.status = Normal && pp.Message.view = t.view
-      && sender = primary_id t
+      && (sender = seq_owner t pp.Message.seq
+         (* Mencius-style reclaim: the view primary may null-fill a stalled
+            owner's slots. Only the null batch is acceptable from it, so it
+            cannot usurp ordering of real requests. *)
+         || rotating t
+            && sender = primary_id t
+            && pp.Message.entries = [ Message.Null_entry ])
       && Log.in_window t.log pp.Message.seq
     then
       match existing with
@@ -1195,6 +1309,7 @@ and on_pre_prepare t sender (pp : Message.pre_prepare) =
         let slot = Log.get t.log pp.Message.seq in
         slot.Log.pre_prepare <- Some (t.view, pp.Message.entries);
         slot.Log.pp_digest <- Some digest;
+        slot.Log.proposer <- sender;
         store_bodies t pp.Message.entries;
         slot.Log.missing_bodies <- compute_missing t pp.Message.entries;
         Metrics.incr t.metrics "preprepare.accepted";
@@ -1203,7 +1318,7 @@ and on_pre_prepare t sender (pp : Message.pre_prepare) =
         ensure_resend_timer t;
         if slot.Log.missing_bodies = [] then begin
           Hashtbl.replace t.batch_store digest (pp.Message.seq, pp.Message.entries);
-          if not (is_primary t) then send_prepare t slot;
+          if slot.Log.proposer <> t.id then send_prepare t slot;
           check_prepared t slot
         end
         else begin
@@ -1244,12 +1359,46 @@ and resolve_missing t digest =
             (match slot.Log.pp_digest with
             | Some d -> Hashtbl.replace t.batch_store d (slot.Log.seq, entries)
             | None -> ());
-            if not (is_primary t) then send_prepare t slot;
+            if slot.Log.proposer <> t.id then send_prepare t slot;
             check_prepared t slot
           end
         | None -> ()
       end);
   advance t
+
+(* Rotating mode: an epoch-first PRE-PREPARE from an epoch owner. Process
+   the proposal itself, then use the handoff information: [opp_close] is
+   the proposer's committed prefix, so every slot of OURS in
+   (opp_close, epoch_first) that nobody proposed yet would otherwise
+   block global execution order until our next batch. Claim those slots
+   now — with real batches if work is pending, null requests otherwise. *)
+and on_ordered_pre_prepare t sender (o : Message.ordered_pre_prepare) =
+  on_pre_prepare t sender
+    {
+      Message.view = o.Message.opp_view;
+      seq = o.Message.opp_seq;
+      entries = o.Message.opp_entries;
+    };
+  if rotating t && t.status = Normal && o.Message.opp_view = t.view then begin
+    (* First let pending requests claim owned slots the normal way... *)
+    try_send_batch t;
+    (* ...then null-fill whatever owned slots below the new epoch remain. *)
+    let first = epoch_first_seq t o.Message.opp_seq in
+    let s =
+      ref
+        (next_owned_seq t
+           (Stdlib.max o.Message.opp_close
+              (Stdlib.max t.last_pp_seq t.last_stable)))
+    in
+    while !s < first && Log.in_window t.log !s do
+      (match Log.find t.log !s with
+      | Some { Log.pp_digest = Some _; _ } -> ()
+      | _ ->
+        Metrics.incr t.metrics "rotate.null_fill";
+        send_pre_prepare t !s [ Message.Null_entry ]);
+      s := next_owned_seq t !s
+    done
+  end
 
 (* A PREPARE for a slot we already finalized means the sender is behind:
    hand it our commit so it can complete its certificate (PBFT's
@@ -1287,8 +1436,12 @@ and maybe_abandon_view_change t =
   let evidence = Hashtbl.length t.vc_evidence in
   if
     t.status = View_changing
-    && Engine.now (engine t) -. t.vc_started_at
-       > 2.0 *. t.config.Config.view_change_timeout
+    (* The window scales with the same capped exponential backoff as the
+       view-change retries themselves ([vc_timeout] reads [vc_attempts]):
+       with a flat window, attempt k's retry fires after the abandonment
+       deadline has already passed, so evidence arriving mid-backoff would
+       flap the replica between Normal and View_changing forever. *)
+    && Engine.now (engine t) -. t.vc_started_at > 2.0 *. vc_timeout t
     && backing < quorum ~f:(f_of t)
     && (evidence >= weak_quorum ~f:(f_of t)
        || (evidence >= 1 && backing < weak_quorum ~f:(f_of t)))
@@ -1307,7 +1460,10 @@ and on_prepare t sender (p : Message.prepare) =
   note_vc_evidence t sender p.Message.view;
   if
     t.status = Normal && p.Message.view = t.view
-    && sender <> primary_id t
+    (* In rotating mode any replica can be a proposer, so prepares are
+       accepted from everyone; [Log.is_prepared] excludes the recorded
+       proposer's own prepare at certificate-count time instead. *)
+    && (rotating t || sender <> primary_id t)
     && Log.in_window t.log p.Message.seq
   then begin
     let slot = Log.get t.log p.Message.seq in
@@ -1360,7 +1516,7 @@ and on_request t sender (r : Message.request) =
     let ce = client_entry t r.Message.client in
     if r.Message.timestamp > ce.last_ts then
       emit_trace t ~view:t.view ~req_id:(trace_req r)
-        ~detail:(if is_primary t then "primary" else "backup")
+        ~detail:(if orders_for t r.Message.client then "primary" else "backup")
         Trace.Request_recv;
     if r.Message.timestamp <= ce.last_ts then begin
       resend_cached_reply t r;
@@ -1368,7 +1524,7 @@ and on_request t sender (r : Message.request) =
          means the commit for that batch is stalled: treat it as a pending
          request for liveness purposes. *)
       if ce.last_ts = r.Message.timestamp && ce.cached_tentative
-         && not (is_primary t)
+         && not (orders_for t r.Message.client)
       then begin
         Hashtbl.replace t.waiting (Message.request_digest r) (Engine.now (engine t));
         arm_waiting_timer t;
@@ -1398,7 +1554,7 @@ and on_request t sender (r : Message.request) =
       let digest = Message.request_digest r in
       Hashtbl.replace t.request_store digest r;
       resolve_missing t digest;
-      if is_primary t && t.status = Normal then begin
+      if orders_for t r.Message.client && t.status = Normal then begin
         let queued = Hashtbl.find_opt t.queued_ts r.Message.client in
         let fresh =
           match queued with Some ts -> r.Message.timestamp > ts | None -> true
@@ -1447,7 +1603,16 @@ and rollback_tentative t =
       slot.Log.undos <- [];
       slot.Log.executed <- false;
       Metrics.incr t.metrics "exec.rolled_back"
-    | None -> ());
+    | None ->
+      (* Unreachable: an executed-but-uncommitted slot is always still in
+         the log. Checkpoints are only taken in [finalize_slot], so every
+         truncation point [make_stable] uses satisfies
+         last_stable <= last_committed < here <= last_executed; the other
+         log replacements ([adopt_state_restore], [restart]) equalize
+         last_executed and last_committed first, and [install_new_view]
+         rolls back before swapping the log. Silently skipping would leak
+         the slot's undos and leave tentative service state behind. *)
+      assert false);
     t.last_executed <- t.last_executed - 1
   done
 
@@ -1674,6 +1839,9 @@ and install_new_view t (nv : Message.new_view) =
             | None -> []
         in
         slot.Log.pp_digest <- Some e.Message.digest;
+        (* NEW-VIEW re-proposals come from the new primary regardless of
+           which epoch owner proposed them originally. *)
+        slot.Log.proposer <- primary_id t;
         t.max_pp_seen <- Stdlib.max t.max_pp_seen e.Message.seq;
         if entries <> [] then begin
           slot.Log.pre_prepare <- Some (t.view, entries);
@@ -1707,16 +1875,17 @@ and install_new_view t (nv : Message.new_view) =
         else if not (is_primary t) then send_prepare t slot
       end)
     nv.Message.nv_entries;
-  if is_primary t then begin
-    let top =
-      List.fold_left
-        (fun acc (e : Message.new_view_entry) -> Stdlib.max acc e.Message.seq)
-        min_s nv.Message.nv_entries
-    in
-    (* Never assign a sequence number at or below one we already executed:
-       other replicas may have finalized a different batch there. *)
-    t.last_pp_seq <- Stdlib.max t.last_pp_seq (Stdlib.max top t.last_executed)
-  end;
+  (if is_orderer t then
+     let top =
+       List.fold_left
+         (fun acc (e : Message.new_view_entry) -> Stdlib.max acc e.Message.seq)
+         min_s nv.Message.nv_entries
+     in
+     (* Never assign a sequence number at or below one we already executed:
+        other replicas may have finalized a different batch there. In
+        rotating mode every replica is an orderer, so everyone advances its
+        proposal cursor past the NEW-VIEW's re-proposals. *)
+     t.last_pp_seq <- Stdlib.max t.last_pp_seq (Stdlib.max top t.last_executed));
   (* If the quorum's checkpoint is ahead of us we must fetch state before
      executing anything in the new view. *)
   if min_s > t.last_executed then request_state t ~target:min_s;
@@ -1786,6 +1955,7 @@ and handle_message t sender msg =
   match msg with
   | Message.Request r -> on_request t sender r
   | Message.Pre_prepare pp -> on_pre_prepare t sender pp
+  | Message.Ordered_pre_prepare o -> on_ordered_pre_prepare t sender o
   | Message.Prepare p -> on_prepare t sender p
   | Message.Commit c -> on_commit t sender c
   | Message.Checkpoint c ->
@@ -1936,6 +2106,12 @@ let restart t =
   t.log <- Log.create ~low:t.last_stable ~window:t.config.Config.log_window ();
   t.last_executed <- t.last_stable;
   t.last_committed <- t.last_stable;
+  (* The audit trail is volatile too: slots finalized past the stable
+     checkpoint are rolled back by the reboot and will execute again, so
+     their entries must go with them — otherwise the chaos checker's
+     unique-execution invariant would see the legitimate re-execution as
+     a duplicate. *)
+  t.exec_audit <- List.filter (fun (s, _) -> s <= t.last_stable) t.exec_audit;
   t.status <- Normal;
   t.target_view <- t.view;
   t.deferred_ro <- [];

@@ -41,6 +41,12 @@ val view : t -> Types.view
 
 val is_primary : t -> bool
 
+val ordering_owner : t -> Types.replica_id
+(** The replica that must propose the next uncommitted sequence number: the
+    view primary in single-primary mode, the epoch owner of
+    [last_committed + 1] under [Config.Rotating]. The health monitor's
+    silent-leader detector watches this replica rather than [view mod n]. *)
+
 val last_executed : t -> Types.seqno
 
 val last_committed : t -> Types.seqno

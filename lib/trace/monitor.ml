@@ -33,6 +33,10 @@ type replica_gauges = {
   r_log_depth : int;  (** live slots in the message log *)
   r_replay_dropped : int;  (** cumulative authenticator replays dropped *)
   r_shed : int;  (** cumulative requests shed by admission control *)
+  r_ordering_owner : int;
+      (** who this replica expects to propose the next uncommitted slot:
+          the view primary, or the current epoch owner under rotating
+          ordering *)
 }
 
 type gauges = {
@@ -152,6 +156,7 @@ type t = {
   mutable commit_advanced_at : float;
   mutable stalled_armed : bool;
   mutable leader_view : int;
+  mutable leader_id : int;  (** the proposer currently being watched *)
   mutable leader_progress : int;
   mutable leader_advanced_at : float;
   mutable silent_armed : bool;
@@ -186,6 +191,7 @@ let create ?(limits = default_limits) ?(window = 256) ?(group = "") () =
     commit_advanced_at = 0.0;
     stalled_armed = true;
     leader_view = -1;
+    leader_id = -1;
     leader_progress = -1;
     leader_advanced_at = 0.0;
     silent_armed = true;
@@ -242,10 +248,11 @@ let gauges_json t g =
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b
-        "{\"id\":%d,\"up\":%b,\"view\":%d,\"exec\":%d,\"commit\":%d,\"stable\":%d,\"digest\":\"%s\",\"queue\":%d,\"backlog\":%d,\"log\":%d,\"replay_dropped\":%d,\"shed\":%d}"
+        "{\"id\":%d,\"up\":%b,\"view\":%d,\"exec\":%d,\"commit\":%d,\"stable\":%d,\"digest\":\"%s\",\"queue\":%d,\"backlog\":%d,\"log\":%d,\"replay_dropped\":%d,\"shed\":%d,\"owner\":%d}"
         r.r_id r.r_reachable r.r_view r.r_last_executed r.r_last_committed
         r.r_last_stable (Trace.escape r.r_stable_digest) r.r_queue_depth
-        r.r_backlog r.r_log_depth r.r_replay_dropped r.r_shed)
+        r.r_backlog r.r_log_depth r.r_replay_dropped r.r_shed
+        r.r_ordering_owner)
     g.g_replicas;
   Buffer.add_string b "]}";
   Buffer.contents b
@@ -451,18 +458,27 @@ let observe t g =
            backlog;
          })
   end;
-  (* silent leader: the primary of the current view is unreachable or
-     making no execution progress while the group has pending work *)
+  (* silent leader: the replica that must propose next is unreachable or
+     making no execution progress while the group has pending work. The
+     watched proposer is whatever a reachable replica in the newest view
+     reports as its ordering owner — the view primary in single-primary
+     mode, the current epoch owner under rotating ordering — so leadership
+     handoffs re-aim the detector without a view change. *)
   let n = Array.length g.g_replicas in
   if n > 0 then begin
-    let primary = view mod n in
+    let primary =
+      match List.find_opt (fun r -> r.r_view = view) reachable with
+      | Some r when r.r_ordering_owner >= 0 -> r.r_ordering_owner
+      | _ -> view mod n
+    in
     let progress =
       match Array.find_opt (fun r -> r.r_id = primary) g.g_replicas with
       | Some r when r.r_reachable -> r.r_last_executed + r.r_last_committed
       | _ -> -1 (* unreachable: no scrape, no progress *)
     in
-    if view <> t.leader_view then begin
+    if view <> t.leader_view || primary <> t.leader_id then begin
       t.leader_view <- view;
+      t.leader_id <- primary;
       t.leader_progress <- progress;
       t.leader_advanced_at <- now;
       t.silent_armed <- true

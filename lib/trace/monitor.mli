@@ -13,9 +13,11 @@
     - {b stalled commit point}: the group-wide commit point stops advancing
       for [stall_after] seconds while reachable replicas report pending
       work;
-    - {b silent leader}: the primary of the current view is unreachable or
-      makes no execution progress for [silent_after] seconds while work is
-      pending;
+    - {b silent leader}: the replica that must propose next (the view
+      primary, or the current epoch owner under rotating ordering, as
+      reported by the replicas' [r_ordering_owner] gauge) is unreachable
+      or makes no execution progress for [silent_after] seconds while work
+      is pending;
     - {b divergent checkpoint}: two reachable replicas report different
       digests for the same stable checkpoint sequence number;
     - {b SLO breach}: the streaming latency p99 exceeds [slo_p99];
@@ -52,6 +54,10 @@ type replica_gauges = {
   r_log_depth : int;  (** live slots in the message log *)
   r_replay_dropped : int;  (** cumulative authenticator replays dropped *)
   r_shed : int;  (** cumulative requests shed by admission control *)
+  r_ordering_owner : int;
+      (** who this replica expects to propose the next uncommitted slot:
+          the view primary, or the current epoch owner under rotating
+          ordering (-1 if unknown) *)
 }
 
 (** One sampling tick over a whole replica group. *)

@@ -66,8 +66,14 @@ let pop h =
 
 let peek_priority h = if h.size = 0 then None else Some h.data.(0).priority
 
+let tiebreak_seq h = h.next_seq
+
 let clear h =
   for i = 0 to h.size - 1 do
     h.data.(i) <- dummy
   done;
-  h.size <- 0
+  h.size <- 0;
+  (* Reset the FIFO tie-break counter too: a cleared heap must assign the
+     same seqs as a fresh one, or reused engines lose run-to-run
+     determinism on equal-priority entries. *)
+  h.next_seq <- 0

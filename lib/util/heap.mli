@@ -22,4 +22,11 @@ val pop : 'a t -> 'a
 (** [peek_priority h] is the priority of the minimum element. *)
 val peek_priority : 'a t -> float option
 
+(** [clear h] empties the heap and resets the FIFO tie-break counter, so
+    a cleared heap behaves exactly like a fresh one. *)
 val clear : 'a t -> unit
+
+(** [tiebreak_seq h] is the FIFO tie-break counter the next [push] will
+    use. Exposed so determinism tests can check that a cleared-and-reused
+    heap assigns the same seqs as a fresh one. *)
+val tiebreak_seq : 'a t -> int

@@ -36,6 +36,17 @@ type scale_point = {
   sc_wall_s : float;
 }
 
+type rotating_row = {
+  ro_clients : int;
+  ro_epoch_length : int;
+  ro_single_ops_per_sec : float;
+  ro_ops_per_sec : float;
+  ro_completed : int;
+  ro_retransmissions : int;
+  ro_speedup : float;
+  ro_wall_s : float;
+}
+
 type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
 
 type t = {
@@ -44,6 +55,7 @@ type t = {
   micro : micro list;
   curve : point list;
   scaling : scale_point list;
+  rotating : rotating_row;
   health : health_row list;
 }
 
@@ -59,6 +71,15 @@ let scaling_groups ~max_groups =
   go 1 []
 
 let scaling_clients_per_group ~quick = if quick then 12 else 16
+
+(* The rotating-vs-single comparison row. The single primary's CPU is the
+   batched curve's ceiling — past its peak, extra clients only deepen its
+   queue — so rotating ordering saturates at a much higher client count.
+   The row drives BOTH modes with the same heavy offered load so the
+   comparison is the throughput ceiling, mode against mode, not a
+   same-client-count footnote on the single-primary curve. *)
+let rotating_clients = 256
+let rotating_epoch_length = 4
 
 let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
   if max_groups < 1 then invalid_arg "Saturation.run: max_groups must be positive";
@@ -165,10 +186,45 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
         })
       (scaling_groups ~max_groups)
   in
+  (* Rotating-vs-single saturation ceilings at [rotating_clients]. Runs
+     after the scaling sweep on fresh clusters of their own, so the
+     pre-existing golden sections are byte-identical with the mode off. *)
+  let rotating =
+    let t0 = Unix.gettimeofday () in
+    let throughput config label =
+      let r =
+        Microbench.bft_throughput ~config ~seed ~window
+          ?monitor:(fresh_monitor label) ~arg:0 ~res:0 ~read_only:false
+          ~clients:rotating_clients ()
+      in
+      (r.Microbench.ops_per_sec, r.Microbench.completed, r.Microbench.retransmissions)
+    in
+    let single_ops, _, _ =
+      throughput (Bft_core.Config.make ~f:1 ()) "rotating baseline"
+    in
+    let ops, completed, retransmissions =
+      throughput
+        (Bft_core.Config.make ~f:1
+           ~ordering:
+             (Bft_core.Config.Rotating { epoch_length = rotating_epoch_length })
+           ())
+        "rotating"
+    in
+    {
+      ro_clients = rotating_clients;
+      ro_epoch_length = rotating_epoch_length;
+      ro_single_ops_per_sec = single_ops;
+      ro_ops_per_sec = ops;
+      ro_completed = completed;
+      ro_retransmissions = retransmissions;
+      ro_speedup = (if single_ops > 0.0 then ops /. single_ops else nan);
+      ro_wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
   (* Health rows are thunks so each summary reflects the monitor's final
      state (registration order = run order). *)
   let health = List.rev_map (fun (_, row) -> row ()) !health_rows in
-  { seed; quick; micro; curve; scaling; health }
+  { seed; quick; micro; curve; scaling; rotating; health }
 
 let health_alerts t =
   List.fold_left (fun acc h -> acc + h.hl_alerts) 0 t.health
@@ -201,6 +257,17 @@ let scaling_speedup t ~groups =
   | Some base, Some s when base.sc_sim_rps > 0.0 -> s.sc_sim_rps /. base.sc_sim_rps
   | _ -> nan
 
+(* Headline metric of the rotating row on the simulated clock (same
+   convention as [sc_sim_rps]): requests per virtual second the rotating
+   cluster retires at the saturation-point load. The rotation acceptance
+   gate checks it against the single-primary ceiling via
+   [rotating_speedup]. *)
+let rotating_sim_rps t = t.rotating.ro_ops_per_sec
+
+(* Rotating over single-primary throughput at the same offered load — the
+   >= 1.3x rotation gate. *)
+let rotating_speedup t = t.rotating.ro_speedup
+
 (* Hand-rolled JSON: stable field order and fixed float formats, because
    the virtual part is compared byte-for-byte against a golden file. *)
 let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
@@ -221,6 +288,12 @@ let scale_virtual_fields buf s =
     s.sc_groups s.sc_clients s.sc_sim_rps s.sc_completed s.sc_retransmissions
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.sc_per_group)))
+
+let rotating_virtual_fields buf r =
+  buf_addf buf
+    "\"clients\":%d,\"epoch_length\":%d,\"single_ops_per_sec\":%.1f,\"ops_per_sec\":%.1f,\"completed\":%d,\"retransmissions\":%d,\"speedup\":%.2f"
+    r.ro_clients r.ro_epoch_length r.ro_single_ops_per_sec r.ro_ops_per_sec
+    r.ro_completed r.ro_retransmissions r.ro_speedup
 
 let json_list buf items emit =
   Buffer.add_char buf '[';
@@ -243,7 +316,9 @@ let virtual_json t =
   json_list buf t.curve point_virtual_fields;
   Buffer.add_string buf ",\"scaling\":";
   json_list buf t.scaling scale_virtual_fields;
-  Buffer.add_string buf "}\n";
+  Buffer.add_string buf ",\"rotating\":{";
+  rotating_virtual_fields buf t.rotating;
+  Buffer.add_string buf "}}\n";
   Buffer.contents buf
 
 let to_json t =
@@ -270,6 +345,11 @@ let to_json t =
   let speedup = scaling_speedup t ~groups:2 in
   if not (Float.is_nan speedup) then
     buf_addf buf ",\"scaling_speedup_2g\":%.2f" speedup;
+  Buffer.add_string buf ",\"rotating\":{";
+  rotating_virtual_fields buf t.rotating;
+  buf_addf buf ",\"wall_s\":%.3f}" t.rotating.ro_wall_s;
+  buf_addf buf ",\"rotating_sim_rps\":%.0f,\"rotating_speedup\":%.2f"
+    (rotating_sim_rps t) (rotating_speedup t);
   buf_addf buf ",\"batched_sim_rps\":%.0f}\n" (batched_sim_rps t);
   Buffer.contents buf
 
@@ -312,6 +392,12 @@ let print t =
   let speedup = scaling_speedup t ~groups:2 in
   if not (Float.is_nan speedup) then
     Printf.printf "2-group speedup over 1 group: %.2fx\n" speedup;
+  let r = t.rotating in
+  Printf.printf
+    "rotating ordering (epoch length %d, %d clients): %8.1f ops/s virtual \
+     vs %8.1f single-primary (%.2fx)  [%.2fs wall]\n"
+    r.ro_epoch_length r.ro_clients r.ro_ops_per_sec r.ro_single_ops_per_sec
+    r.ro_speedup r.ro_wall_s;
   Printf.printf "batched wall-clock throughput: %.0f simulated requests/s\n"
     (batched_sim_rps t);
   if t.health <> [] then begin

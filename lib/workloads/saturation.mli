@@ -42,6 +42,22 @@ type scale_point = {
   sc_wall_s : float;  (** wall clock *)
 }
 
+(** The rotating-vs-single-primary comparison: both ordering modes driven
+    with the same heavy offered load (well past the single primary's
+    saturation point, where its CPU is the curve's ceiling), so the row
+    compares throughput ceilings mode against mode. All fields except
+    [ro_wall_s] are on the virtual clock and part of the golden surface. *)
+type rotating_row = {
+  ro_clients : int;
+  ro_epoch_length : int;
+  ro_single_ops_per_sec : float;  (** single-primary ceiling, virtual *)
+  ro_ops_per_sec : float;  (** rotating-mode throughput, virtual *)
+  ro_completed : int;
+  ro_retransmissions : int;
+  ro_speedup : float;  (** [ro_ops_per_sec / ro_single_ops_per_sec] *)
+  ro_wall_s : float;  (** wall clock, both runs *)
+}
+
 (** One health-monitor summary row (a micro shape, a curve point, or a
     scaling sweep's fleet rollup). *)
 type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
@@ -52,6 +68,7 @@ type t = {
   micro : micro list;
   curve : point list;
   scaling : scale_point list;
+  rotating : rotating_row;
   health : health_row list;  (** empty unless [run ~health:true] *)
 }
 
@@ -76,6 +93,15 @@ val scaling_speedup : t -> groups:int -> float
 val batched_sim_rps : t -> float
 (** Total simulated requests retired per real second across the whole
     curve — the metric the perf-improvement gate compares across trees. *)
+
+val rotating_sim_rps : t -> float
+(** The rotating row's virtual-clock throughput (requests per simulated
+    second at the saturation-point load), same clock convention as
+    [sc_sim_rps]. *)
+
+val rotating_speedup : t -> float
+(** Rotating over single-primary throughput at the same offered load —
+    the rotation acceptance gate checks [rotating_speedup t >= 1.3]. *)
 
 val virtual_json : t -> string
 (** Only the virtual-time fields, in a stable byte-exact format — what CI

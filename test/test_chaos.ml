@@ -9,7 +9,7 @@ module Rng = Bft_util.Rng
 
 let check = Alcotest.check
 
-let gen_plan seed = Plan.generate ~rng:(Rng.of_int seed) ~n:4 ~f:1 ~horizon:6.0
+let gen_plan seed = Plan.generate ~rng:(Rng.of_int seed) ~n:4 ~f:1 ~horizon:6.0 ()
 
 let codec_roundtrip () =
   for seed = 1 to 20 do
@@ -23,6 +23,29 @@ let codec_roundtrip () =
       | Ok () -> ()
       | Error msg -> Alcotest.failf "seed %d: generated plan invalid: %s" seed msg)
   done
+
+let codec_roundtrip_rotating () =
+  (* the rotating generator menu adds crash-owner events; they must
+     round-trip and validate like everything else *)
+  let seen_owner_crash = ref false in
+  for seed = 1 to 20 do
+    let plan =
+      Plan.generate ~rotating:true ~rng:(Rng.of_int seed) ~n:4 ~f:1
+        ~horizon:6.0 ()
+    in
+    if List.exists (fun e -> e.Plan.action = Plan.Crash_owner) plan then
+      seen_owner_crash := true;
+    let s = Plan.to_string plan in
+    match Plan.of_string s with
+    | Error msg -> Alcotest.failf "seed %d: parse failed: %s" seed msg
+    | Ok plan' ->
+      check Alcotest.string "codec fixpoint" s (Plan.to_string plan');
+      (match Plan.validate ~n:4 plan' with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "seed %d: generated plan invalid: %s" seed msg)
+  done;
+  check Alcotest.bool "generator emitted at least one crash-owner" true
+    !seen_owner_crash
 
 let codec_comments () =
   let src = "# a comment\n\n0.500000 crash 2\n0.250000 loss 0.100000\n" in
@@ -75,7 +98,7 @@ let campaign_deterministic () =
 (* Mirrors the bft_lab chaos driver's seed derivation. *)
 let driver_campaign ~root ~unsafe i =
   let rng = Rng.split root (Printf.sprintf "campaign%d" i) in
-  let plan = Plan.generate ~rng ~n:4 ~f:1 ~horizon:6.0 in
+  let plan = Plan.generate ~rng ~n:4 ~f:1 ~horizon:6.0 () in
   let seed = Rng.int rng (1 lsl 30) in
   (seed, plan, Campaign.run ~unsafe_no_commit_quorum:unsafe ~seed ~plan ())
 
@@ -90,6 +113,61 @@ let clean_campaigns () =
       (Printf.sprintf "campaign %d: all ops completed" i)
       outcome.Campaign.ops_total outcome.Campaign.ops_completed
   done
+
+(* Rotating ordering under the crash-the-epoch-owner menu: generated plans
+   aim half their crashes at whichever replica owns the epoch when the
+   event fires, and the campaign must still settle clean — agreement,
+   exact reply accounting, and no sequence number executed twice on any
+   replica (the duplicate-execution hazard of a botched epoch handoff). *)
+let rotating_campaigns_survive_owner_crashes () =
+  let root = Rng.of_int 42 in
+  let ordering = Bft_core.Config.Rotating { epoch_length = 2 } in
+  let owner_crashes = ref 0 in
+  (* this index window is chosen so the generated plans actually include
+     crash-owner events (three across the five campaigns); the assertion
+     below keeps the choice honest if the generator ever changes *)
+  for i = 9 to 13 do
+    let rng = Rng.split root (Printf.sprintf "rotating%d" i) in
+    let plan = Plan.generate ~rotating:true ~rng ~n:4 ~f:1 ~horizon:6.0 () in
+    owner_crashes :=
+      !owner_crashes
+      + List.length
+          (List.filter (fun e -> e.Plan.action = Plan.Crash_owner) plan);
+    let seed = Rng.int rng (1 lsl 30) in
+    let outcome = Campaign.run ~ordering ~seed ~plan () in
+    if Campaign.failed outcome then
+      Alcotest.failf "rotating campaign %d: unexpected violations: %s" i
+        (Campaign.jsonl ~campaign:i outcome)
+  done;
+  (* the menu is probabilistic per plan, but across five plans the
+     handoff-stress event must actually have been exercised *)
+  check Alcotest.bool "campaigns included owner crashes" true
+    (!owner_crashes > 0)
+
+(* A hand-built worst case: a client burst lands just before the epoch
+   owner is killed mid-quorum, then a partition flap isolates another
+   replica while the view change is subsuming the dead owner's epochs.
+   One crash keeps the plan inside the f = 1 fault assumption (partitions
+   are free: they suspend liveness, never safety), so the campaign must
+   settle clean after the forced heal. *)
+let rotating_handoff_hand_plan () =
+  let ordering = Bft_core.Config.Rotating { epoch_length = 2 } in
+  let plan =
+    [
+      { Plan.at = 0.010; action = Plan.Client_burst 6 };
+      { Plan.at = 0.012; action = Plan.Crash_owner };
+      { Plan.at = 0.500; action = Plan.Partition [ [ 1 ]; [ 0; 2; 3 ] ] };
+      { Plan.at = 1.200; action = Plan.Heal };
+      { Plan.at = 1.300; action = Plan.Client_burst 6 };
+    ]
+  in
+  (match Plan.validate ~n:4 plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "hand plan invalid: %s" msg);
+  let outcome = Campaign.run ~ordering ~seed:1213 ~plan () in
+  if Campaign.failed outcome then
+    Alcotest.failf "handoff plan violated invariants: %s"
+      (Campaign.jsonl outcome)
 
 (* The checker must catch the deliberately unsound variant, and the greedy
    shrinker must reduce the failing plan to something minimal that still
@@ -161,6 +239,8 @@ let () =
       ( "plan",
         [
           Alcotest.test_case "codec round-trip" `Quick codec_roundtrip;
+          Alcotest.test_case "codec round-trip (rotating)" `Quick
+            codec_roundtrip_rotating;
           Alcotest.test_case "comments and sorting" `Quick codec_comments;
           Alcotest.test_case "validation" `Quick validate_rejects;
         ] );
@@ -170,6 +250,10 @@ let () =
             crashed_node_keeps_nothing;
           Alcotest.test_case "deterministic" `Slow campaign_deterministic;
           Alcotest.test_case "clean on correct protocol" `Slow clean_campaigns;
+          Alcotest.test_case "rotating survives owner crashes" `Slow
+            rotating_campaigns_survive_owner_crashes;
+          Alcotest.test_case "rotating handoff hand plan" `Quick
+            rotating_handoff_hand_plan;
           Alcotest.test_case "injected bug caught and shrunk" `Slow
             injected_bug_caught_and_shrunk;
         ] );

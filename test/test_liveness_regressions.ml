@@ -75,6 +75,36 @@ let recovery_vs_view_change ~seed ~period () =
       max_view primary_hits;
   Harness.check_agreement rig
 
+(* The abandonment window must scale with the same capped exponential
+   backoff as the view-change retries themselves. Scenario: the primary is
+   down and the two stale-view backups keep reporting Normal status in
+   view 0 (that status is the abandonment evidence) but never join a view
+   change, so the lone correct backup can never recruit a quorum: it is
+   doomed to flap Normal <-> View_changing. With the flat window the flap
+   runs at a constant rate forever (~14 abandonments in this horizon);
+   with the backoff-scaled window each cycle doubles and the count stays
+   low. *)
+let abandonment_window_backs_off () =
+  let config =
+    Config.make ~f:1 ~checkpoint_interval:8 ~log_window:16
+      ~view_change_timeout:0.1 ()
+  in
+  let rig =
+    Harness.make ~config ~seed:7
+      ~behaviors:[ (1, Behavior.Stale_view); (2, Behavior.Stale_view) ]
+      ~nclients:1 ()
+  in
+  Cluster.crash_replica rig.Harness.cluster 0;
+  let completed = Harness.run_ops ~per_client:1 ~until:60.0 rig in
+  check Alcotest.int "nothing can commit" 0 completed;
+  let abandoned = Harness.metric rig 3 "viewchange.abandoned" in
+  check Alcotest.bool "the flap actually happens" true (abandoned >= 2);
+  if abandoned > 10 then
+    Alcotest.failf
+      "%d abandoned view changes in 60s: abandonment window not scaling \
+       with the retry backoff"
+      abandoned
+
 let cases =
   [
     (* mute primary + loss: cached-reply upgrade path *)
@@ -107,6 +137,11 @@ let () =
             Alcotest.test_case name `Slow
               (run ~seed ~drop ~dup ~nclients:3 ~ops:8 ~behaviors))
           cases );
+      ( "backoff",
+        [
+          Alcotest.test_case "abandonment window scales with retry backoff"
+            `Slow abandonment_window_backs_off;
+        ] );
       ( "recovery",
         [
           Alcotest.test_case "proactive recovery vs view changes (seed 3)" `Slow

@@ -72,7 +72,7 @@ let sketch_deterministic_prop =
 
 let rg ?(reachable = true) ?(view = 0) ?(exec = 0) ?(committed = 0)
     ?(stable = 0) ?(digest = "d0") ?(queue = 0) ?(backlog = 0) ?(log = 0)
-    ?(replay = 0) ?(shed = 0) id =
+    ?(replay = 0) ?(shed = 0) ?owner id =
   {
     Monitor.r_id = id;
     r_reachable = reachable;
@@ -86,6 +86,7 @@ let rg ?(reachable = true) ?(view = 0) ?(exec = 0) ?(committed = 0)
     r_log_depth = log;
     r_replay_dropped = replay;
     r_shed = shed;
+    r_ordering_owner = (match owner with Some o -> o | None -> view mod 4);
   }
 
 let tick ?(rejected = 0) ~at replicas completed =

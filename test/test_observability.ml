@@ -141,7 +141,7 @@ let test_dag_complete_under_faults () =
   List.iter
     (fun seed ->
       let rng = Bft_util.Rng.of_int seed in
-      let plan = Plan.generate ~rng ~n:4 ~f:1 ~horizon:3.0 in
+      let plan = Plan.generate ~rng ~n:4 ~f:1 ~horizon:3.0 () in
       let trace = Trace.create ~capacity:(1 lsl 21) () in
       let outcome = Campaign.run ~trace ~seed ~plan () in
       check Alcotest.bool

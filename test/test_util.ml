@@ -42,6 +42,28 @@ let test_heap_clear () =
   Heap.push h ~priority:1.0 42;
   check Alcotest.int "usable after clear" 42 (Heap.pop h)
 
+let test_heap_clear_resets_fifo () =
+  (* Regression: [clear] used to keep the FIFO tie-break counter, so a
+     reused heap ordered equal-priority entries by stale seqs and diverged
+     from a fresh heap under same-seed replay. *)
+  let drain h =
+    let rec go acc = if Heap.is_empty h then List.rev acc else go (Heap.pop h :: acc) in
+    go []
+  in
+  let reused = Heap.create () in
+  List.iter (fun v -> Heap.push reused ~priority:1.0 v) [ "old1"; "old2"; "old3" ];
+  Heap.clear reused;
+  let fresh = Heap.create () in
+  check Alcotest.int "tie-break counter reset" (Heap.tiebreak_seq fresh)
+    (Heap.tiebreak_seq reused);
+  List.iter
+    (fun h -> List.iter (fun v -> Heap.push h ~priority:1.0 v) [ "a"; "b"; "c" ])
+    [ reused; fresh ];
+  check Alcotest.int "same seqs assigned" (Heap.tiebreak_seq fresh)
+    (Heap.tiebreak_seq reused);
+  check (Alcotest.list Alcotest.string) "cleared heap pops like a fresh one"
+    (drain fresh) (drain reused)
+
 let test_heap_grows () =
   let h = Heap.create () in
   for i = 1000 downto 1 do
@@ -353,6 +375,8 @@ let () =
           Alcotest.test_case "fifo on equal priorities" `Quick test_heap_fifo_on_ties;
           Alcotest.test_case "pop empty raises" `Quick test_heap_pop_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "clear resets fifo seqs" `Quick
+            test_heap_clear_resets_fifo;
           Alcotest.test_case "grows past initial capacity" `Quick test_heap_grows;
           q heap_sorted_prop;
         ] );

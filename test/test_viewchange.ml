@@ -152,6 +152,49 @@ let test_exponential_backoff_counts () =
   check Alcotest.bool "some view changes attempted" true (starts >= 1);
   check Alcotest.bool "backoff bounded the attempts" true (starts < 20)
 
+let test_rollback_never_misses_a_slot () =
+  (* Stress the tentative-rollback walk against checkpoint GC:
+     [rollback_tentative] asserts that every executed-but-uncommitted slot
+     is still in the log (GC only advances past finalized slots, so the
+     None branch is unreachable). The block delay below is tuned so the
+     partition catches replica 3 inside the prepared-but-uncommitted
+     window of a slot — it has tentatively executed a batch whose commits
+     never arrive — under the most aggressive checkpointing the validator
+     allows; the assert aborting or a safety violation fails the test. *)
+  let config =
+    Config.make ~f:1 ~checkpoint_interval:2 ~log_window:8 ()
+  in
+  let rig = Harness.make ~config ~seed:13 ~nclients:3 () in
+  let cluster = rig.Harness.cluster in
+  let engine = Cluster.engine cluster in
+  let net = Cluster.network cluster in
+  let no_faults =
+    {
+      Bft_net.Network.drop_probability = 0.0;
+      duplicate_probability = 0.0;
+      blocked = [];
+    }
+  in
+  (* Mid-stream, cut replica 3 off from its peers (client links stay up):
+     slots whose prepares already arrived execute tentatively but their
+     commits never do, and the retransmission-fed waiting set forces a
+     view change that must roll all of them back. The rest of the cluster
+     keeps checkpointing past those seqs meanwhile. Unblock later so 3
+     state-transfers back in and every op still completes. *)
+  Bft_sim.Engine.schedule engine ~delay:0.0104 (fun () ->
+      Bft_net.Network.set_faults net
+        {
+          no_faults with
+          Bft_net.Network.blocked = [ (0, 3); (1, 3); (2, 3) ];
+        });
+  Bft_sim.Engine.schedule engine ~delay:2.0 (fun () ->
+      Bft_net.Network.set_faults net no_faults);
+  let n = Harness.run_ops ~per_client:50 ~until:60.0 rig in
+  check Alcotest.int "all complete" (3 * 50) n;
+  check Alcotest.bool "tentative rollback exercised" true
+    (Harness.sum_metric rig "exec.rolled_back" > 0);
+  Harness.check_agreement rig
+
 let test_hierarchical_state_transfer () =
   (* Big per-op state so snapshots exceed the paging threshold: the lagging
      replica must fetch pages rather than whole snapshots. *)
@@ -244,6 +287,8 @@ let () =
             test_stale_view_replica_left_behind;
           Alcotest.test_case "client follows new primary" `Quick
             test_client_follows_new_primary;
+          Alcotest.test_case "rollback never misses a slot" `Quick
+            test_rollback_never_misses_a_slot;
           Alcotest.test_case "backoff bounds attempts" `Quick
             test_exponential_backoff_counts;
         ] );
