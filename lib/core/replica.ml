@@ -451,8 +451,7 @@ and do_resends t =
     let next = t.last_committed + 1 in
     (match Log.find t.log next with
     | Some ({ Log.pre_prepare = Some (v, entries); _ } as slot) when v = t.view ->
-      if slot.Log.proposer = t.id then
-        out_multicast t (Message.Pre_prepare { view = t.view; seq = next; entries })
+      if slot.Log.proposer = t.id then resend_own_pre_prepare t next entries
       else if slot.Log.own_prepare_sent then (
         match slot.Log.pp_digest with
         | Some digest ->
@@ -474,6 +473,40 @@ and do_resends t =
       if !later && seq_owner t next <> t.id then
         out_multicast t
           (Message.Fetch_batch { fb_view = t.view; fb_seq = next; fb_replica = t.id }));
+    (* Rotating mode: if any epoch-first proposal of ours is still
+       uncommitted, re-multicast the lowest one in Ordered form. The
+       head-of-line resend above only covers last_committed + 1; a lost
+       ORDERED-PRE-PREPARE deeper in the pipeline would otherwise leave
+       receivers without the opp_close handoff — they could not close
+       their abandoned slots until the slower primary reclaim fired. *)
+    if rotating t then begin
+      let best = ref None in
+      Log.iter t.log (fun slot ->
+          if
+            slot.Log.seq > t.last_committed + 1
+            && (not slot.Log.committed)
+            && slot.Log.proposer = t.id
+            && owns_seq t slot.Log.seq
+            && slot.Log.seq = epoch_first_seq t slot.Log.seq
+          then
+            match (slot.Log.pre_prepare, !best) with
+            | Some (v, entries), None when v = t.view ->
+              best := Some (slot.Log.seq, entries)
+            | Some (v, entries), Some (s, _) when v = t.view && slot.Log.seq < s ->
+              best := Some (slot.Log.seq, entries)
+            | _ -> ());
+      match !best with
+      | Some (seq, entries) ->
+        out_multicast t
+          (Message.Ordered_pre_prepare
+             {
+               opp_view = t.view;
+               opp_seq = seq;
+               opp_close = t.last_committed;
+               opp_entries = entries;
+             })
+      | None -> ()
+    end;
     (* Rotating mode: a crashed or partitioned epoch owner stalls global
        execution at its slots. After a full retransmission tick with no
        commit progress, the view primary reclaims the stalled range
@@ -499,6 +532,22 @@ and do_resends t =
         if seq > t.last_stable then
           out_multicast t (Message.Checkpoint { seq; digest; replica = t.id }))
       t.own_checkpoints)
+
+(* Resend a proposal of ours in the same wire form it was first sent:
+   an epoch-first slot goes back out as ORDERED-PRE-PREPARE (with the
+   *current* committed prefix as [opp_close]) so a receiver that missed
+   the original still gets the handoff, not just the proposal. *)
+and resend_own_pre_prepare t seq entries =
+  if rotating t && owns_seq t seq && seq = epoch_first_seq t seq then
+    out_multicast t
+      (Message.Ordered_pre_prepare
+         {
+           opp_view = t.view;
+           opp_seq = seq;
+           opp_close = t.last_committed;
+           opp_entries = entries;
+         })
+  else out_multicast t (Message.Pre_prepare { view = t.view; seq; entries })
 
 (* Execution progressed: the primary is live. Stop the timer, and restart
    it afresh if other requests are still waiting (PBFT restarts rather than
@@ -1094,8 +1143,23 @@ and try_send_batch t =
       ||
       if rotating t then
         (* n orderers pipeline concurrently: each may run a batch_window of
-           its own slots ahead of execution. *)
+           its own slots ahead of execution. The distance bound alone can
+           wedge a sparse cluster forever: with few active clients the
+           busy orderer's nearest owned slot can sit beyond
+           last_executed + batch_window * n with only idle owners' epochs
+           in between — nothing is ever proposed, so the primary reclaim
+           has nothing to chase, and view changes shift the home and
+           owner maps together so retrying in a later view hits the same
+           wall. The second disjunct opens the window whenever nothing at
+           all is in flight beyond the execution point: the lowest owned
+           slot is then always proposable, and its epoch-first handoff is
+           what lets the other owners close the gap under it. When
+           something IS in flight, holding back is safe — the in-flight
+           slot commits (reclaim and view change guarantee it), execution
+           catches up, and the window re-opens — and is what keeps
+           requests accumulating into full batches under load. *)
         next_seq <= t.last_executed + (cfg.Config.batch_window * cfg.Config.n)
+        || t.max_pp_seen <= t.last_executed
       else t.last_pp_seq < t.last_executed + cfg.Config.batch_window
     in
     if window_open && Log.in_window t.log next_seq then begin
@@ -1106,42 +1170,47 @@ and try_send_batch t =
         t.last_pp_seq <- Stdlib.max t.last_pp_seq next_seq;
         try_send_batch t
       | _ ->
-        (* Pick requests off the queue up to the batch bound, deciding each
-           request's shape (inline vs digest summary) exactly once. *)
-        let entries = ref [] and bytes = ref 0 and count = ref 0 in
-        let continue = ref true in
-        while !continue && not (Queue.is_empty t.pending) do
-          let r = Queue.peek t.pending in
-          let summarize =
-            cfg.Config.separate_request_transmission
-            && Payload.size r.Message.op > cfg.Config.inline_threshold
-          in
-          let sz = if summarize then Fingerprint.size else request_wire_size r in
-          if
-            !count > 0
-            && (!bytes + sz > cfg.Config.max_batch_bytes
-               || !count >= cfg.Config.max_batch_requests
-               || not cfg.Config.batching)
-          then continue := false
-          else begin
-            ignore (Queue.pop t.pending);
-            bytes := !bytes + sz;
-            incr count;
-            let entry =
-              if summarize then Message.Summary (Message.request_digest r)
-              else Message.Full r
-            in
-            entries := entry :: !entries
-          end
-        done;
-        let entries = List.rev !entries in
-        send_pre_prepare t next_seq entries;
-        Metrics.incr t.metrics "batch.sent";
-        Metrics.sample t.metrics "batch.size" (float_of_int !count);
+        send_assembled_batch t next_seq;
         (* Keep draining if more requests and window allows. *)
         try_send_batch t
     end
   end
+
+(* Pick requests off the queue up to the batch bound, deciding each
+   request's shape (inline vs digest summary) exactly once, and propose
+   the batch at [seq]. The caller guarantees the queue is non-empty. *)
+and send_assembled_batch t seq =
+  let cfg = t.config in
+  let entries = ref [] and bytes = ref 0 and count = ref 0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.pending) do
+    let r = Queue.peek t.pending in
+    let summarize =
+      cfg.Config.separate_request_transmission
+      && Payload.size r.Message.op > cfg.Config.inline_threshold
+    in
+    let sz = if summarize then Fingerprint.size else request_wire_size r in
+    if
+      !count > 0
+      && (!bytes + sz > cfg.Config.max_batch_bytes
+         || !count >= cfg.Config.max_batch_requests
+         || not cfg.Config.batching)
+    then continue := false
+    else begin
+      ignore (Queue.pop t.pending);
+      bytes := !bytes + sz;
+      incr count;
+      let entry =
+        if summarize then Message.Summary (Message.request_digest r)
+        else Message.Full r
+      in
+      entries := entry :: !entries
+    end
+  done;
+  let entries = List.rev !entries in
+  send_pre_prepare t seq entries;
+  Metrics.incr t.metrics "batch.sent";
+  Metrics.sample t.metrics "batch.size" (float_of_int !count)
 
 and send_pre_prepare t seq entries =
   let digest = Message.batch_digest entries in
@@ -1379,10 +1448,32 @@ and on_ordered_pre_prepare t sender (o : Message.ordered_pre_prepare) =
       seq = o.Message.opp_seq;
       entries = o.Message.opp_entries;
     };
-  if rotating t && t.status = Normal && o.Message.opp_view = t.view then begin
-    (* First let pending requests claim owned slots the normal way... *)
-    try_send_batch t;
-    (* ...then null-fill whatever owned slots below the new epoch remain. *)
+  let embedded_accepted () =
+    match Log.find t.log o.Message.opp_seq with
+    | Some { Log.pp_digest = Some d; proposer; _ } ->
+      proposer = sender
+      && Fingerprint.equal d (Message.batch_digest o.Message.opp_entries)
+    | _ -> false
+  in
+  (* The handoff side effects run only for a *legitimate* handoff: the
+     sender must own [opp_seq], the slot must be epoch-first, and the
+     embedded pre-prepare must have been accepted above. Without these
+     gates a Byzantine replica could multicast an arbitrary in-window
+     [opp_seq] and make every correct replica burn its owned slots on
+     fill traffic. *)
+  if
+    rotating t && t.status = Normal
+    && o.Message.opp_view = t.view
+    && sender = seq_owner t o.Message.opp_seq
+    && o.Message.opp_seq = epoch_first_seq t o.Message.opp_seq
+    && embedded_accepted ()
+  then begin
+    (* The gap slots sit *below* the already-proposed frontier, so the
+       batching window (a bound on proposing ahead of execution) does not
+       apply to them — fill each with a real batch while requests are
+       pending and only fall back to a null request when the queue runs
+       dry. Nulling while work is queued would burn our owned slots and
+       force the queued requests even further ahead. *)
     let first = epoch_first_seq t o.Message.opp_seq in
     let s =
       ref
@@ -1394,10 +1485,14 @@ and on_ordered_pre_prepare t sender (o : Message.ordered_pre_prepare) =
       (match Log.find t.log !s with
       | Some { Log.pp_digest = Some _; _ } -> ()
       | _ ->
-        Metrics.incr t.metrics "rotate.null_fill";
-        send_pre_prepare t !s [ Message.Null_entry ]);
+        if Queue.is_empty t.pending then begin
+          Metrics.incr t.metrics "rotate.null_fill";
+          send_pre_prepare t !s [ Message.Null_entry ]
+        end
+        else send_assembled_batch t !s);
       s := next_owned_seq t !s
-    done
+    done;
+    try_send_batch t
   end
 
 (* A PREPARE for a slot we already finalized means the sender is behind:

@@ -180,6 +180,120 @@ let test_primary_crash_rotates_owners () =
   in
   if max_view < 1 then Alcotest.fail "expected a view change past view 0"
 
+(* --- few active clients: ownerless gaps must not wedge the orderer ------- *)
+
+let test_sparse_clients_progress () =
+  (* Review regression: with one active client homed at replica 2 the
+     first owned slot is 5 (epoch 2), and the old distance-based pipeline
+     window (next_seq <= last_executed + batch_window * n = 4) could never
+     open — nothing was ever proposed, so the primary reclaim had nothing
+     to chase. The cluster only escaped through repeated view changes (a
+     stale pending queue eventually lands on a replica whose owned slots
+     fall inside the window), several timeouts per sparse request. The
+     owned-slot window must serve the request promptly in view 0. *)
+  let config = rotating_config () in
+  let cluster =
+    Cluster.create ~config ~seed:9 ~client_principal_base:6
+      ~service:(fun _ -> Counter.service ())
+      ()
+  in
+  (* Principal 6 = 2 (mod 4): home orderer 2, whose lowest owned slot (5)
+     sits beyond the whole-gap distance bound. *)
+  let client = Cluster.add_client cluster in
+  let seen = ref [] in
+  let rec loop remaining =
+    if remaining > 0 then
+      Client.invoke client
+        (Counter.op_payload (Counter.Add ("k", 1)))
+        (fun outcome ->
+          (match Counter.value_of_payload outcome.Client.result with
+          | Some v -> seen := v :: !seen
+          | None -> Alcotest.fail "unparseable counter reply");
+          loop (remaining - 1))
+  in
+  loop 4;
+  Cluster.run ~until:30.0 cluster;
+  Alcotest.(check (list int))
+    "single sparse client completes" (expected 4)
+    (List.rev !seen);
+  Array.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d needed no view change" (Replica.id r))
+        0
+        (Metrics.count (Replica.metrics r) "viewchange.started"))
+    (Cluster.replicas cluster);
+  check_agreement cluster
+
+(* --- Byzantine handoff claims must not drive null-fill -------------------- *)
+
+(* Review regression: the handoff side effects of ORDERED-PRE-PREPARE
+   (claiming/null-filling the receiver's own slots up to the claimed
+   epoch) used to run before any validation of the claim, so a Byzantine
+   replica could multicast an arbitrary in-window [opp_seq] and make every
+   correct replica burn its owned slots with null batches. Forge one with
+   replica 3's keys (fresh transport, same master secret) on an otherwise
+   quiet cluster and check nobody reacts. *)
+let forged_handoff ~opp_seq =
+  let config = rotating_config () in
+  let cluster =
+    Cluster.create ~config ~seed:5 ~master:"m"
+      ~service:(fun _ -> Counter.service ())
+      ()
+  in
+  let engine = Cluster.engine cluster in
+  let net = Cluster.network cluster in
+  let cpu = Bft_sim.Cpu.create engine ~name:"byz" () in
+  let node = Bft_net.Network.add_node net ~cpu ~name:"byz" () in
+  let keychain =
+    Bft_crypto.Keychain.create ~master:"m" ~self:3
+      ~replica_bound:config.Config.n ()
+  in
+  let forged = Transport.create net ~keychain ~node () in
+  let dsts =
+    List.init 3 (fun i ->
+        { Transport.principal = i; node = Cluster.replica_node cluster i })
+  in
+  (* Inject before replica 3's first real message so the forged nonce is
+     fresh at every receiver. *)
+  Bft_sim.Engine.schedule engine ~delay:0.001 (fun () ->
+      Transport.multicast forged ~dsts
+        (Message.Ordered_pre_prepare
+           {
+             Message.opp_view = 0;
+             opp_seq;
+             opp_close = 0;
+             opp_entries = [ Message.Null_entry ];
+           }));
+  Cluster.run ~until:5.0 cluster;
+  cluster
+
+let metric_sum cluster ids metric =
+  List.fold_left
+    (fun acc i ->
+      acc + Metrics.count (Replica.metrics (Cluster.replica cluster i)) metric)
+    0 ids
+
+let test_forged_handoff_not_owner () =
+  (* Seq 21 (epoch 10) belongs to replica 2 in view 0, not to the forging
+     replica 3: the claim must be ignored wholesale. *)
+  let cluster = forged_handoff ~opp_seq:21 in
+  Alcotest.(check int) "no pre-prepare accepted" 0
+    (metric_sum cluster [ 0; 1; 2 ] "preprepare.accepted");
+  Alcotest.(check int) "nothing proposed" 0
+    (metric_sum cluster [ 0; 1; 2 ] "preprepare.sent");
+  Alcotest.(check int) "no null-fill" 0
+    (metric_sum cluster [ 0; 1; 2 ] "rotate.null_fill")
+
+let test_forged_handoff_mid_epoch () =
+  (* Seq 8 is owned by replica 3 but is not epoch-first (epoch 3 starts at
+     7): the embedded pre-prepare may stand on its own — and the primary
+     may legitimately reclaim the gap below it — but the handoff side
+     effects must not run on the receivers. *)
+  let cluster = forged_handoff ~opp_seq:8 in
+  Alcotest.(check int) "no null-fill" 0
+    (metric_sum cluster [ 0; 1; 2 ] "rotate.null_fill")
+
 (* --- disabled mode is the default ---------------------------------------- *)
 
 let test_default_is_single_primary () =
@@ -204,6 +318,12 @@ let () =
             test_owner_crash_handoff;
           Alcotest.test_case "view change subsumes failed owner" `Quick
             test_primary_crash_rotates_owners;
+          Alcotest.test_case "sparse clients make progress" `Quick
+            test_sparse_clients_progress;
+          Alcotest.test_case "forged handoff from non-owner ignored" `Quick
+            test_forged_handoff_not_owner;
+          Alcotest.test_case "forged mid-epoch handoff ignored" `Quick
+            test_forged_handoff_mid_epoch;
           Alcotest.test_case "default config unchanged" `Quick
             test_default_is_single_primary;
         ] );
