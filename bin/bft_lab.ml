@@ -14,6 +14,19 @@ let quick_arg =
   let doc = "Shrink sweep grids for a fast smoke run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+(* Shared cost-profile flag: every subcommand that simulates takes the
+   same named Calibration profile (testbed-2001 unless asked). *)
+let cost_profile_arg =
+  let module Calibration = Bft_sim.Calibration in
+  let doc =
+    Printf.sprintf "Cost profile the simulation is calibrated to; one of %s."
+      (Arg.doc_alts Calibration.profile_names)
+  in
+  Arg.(
+    value
+    & opt (enum Calibration.profiles) Calibration.default
+    & info [ "cost-profile" ] ~doc ~docv:"PROFILE")
+
 (* Shared tracing flags: every subcommand that can emit a protocol trace
    takes the same --trace-out/--trace-cap pair. *)
 let trace_out_arg ?default ?(extra_names = []) () =
@@ -135,7 +148,7 @@ let throughput_cmd =
              summary after the run. Observation is pure: the measured \
              numbers do not change.")
   in
-  let run arg res clients groups read_only health trace_out trace_cap =
+  let run arg res clients groups read_only health cal trace_out trace_cap =
     let module Trace = Bft_trace.Trace in
     let module Monitor = Bft_trace.Monitor in
     let trace =
@@ -143,6 +156,7 @@ let throughput_cmd =
       | Some _ -> Trace.create ~capacity:trace_cap ()
       | None -> Trace.nil
     in
+    Printf.printf "cost profile: %s\n" (Bft_sim.Calibration.name cal);
     let drops t =
       List.iter
         (fun (host, dropped, overflowed) ->
@@ -158,8 +172,8 @@ let throughput_cmd =
     if groups > 1 then begin
       let clients_per_group = Stdlib.max 1 (clients / groups) in
       let t =
-        Microbench.sharded_throughput ~trace ~health ~groups ~clients_per_group
-          ()
+        Microbench.sharded_throughput ~cal ~trace ~health ~groups
+          ~clients_per_group ()
       in
       Printf.printf
         "BFT sharded KV, %d groups x %d proxies: %.0f ops/s (%d completed, %d \
@@ -184,8 +198,8 @@ let throughput_cmd =
     else begin
       let monitor = if health then Some (Monitor.create ()) else None in
       let t =
-        Microbench.bft_throughput ~trace ?monitor ~arg ~res ~read_only ~clients
-          ()
+        Microbench.bft_throughput ~cal ~trace ?monitor ~arg ~res ~read_only
+          ~clients ()
       in
       Printf.printf
         "BFT %d/%d, %d clients: %.0f ops/s (%d completed, %d retransmissions)\n"
@@ -204,7 +218,7 @@ let throughput_cmd =
     (Cmd.info "throughput" ~doc)
     Term.(
       const run $ arg_size $ res_size $ clients $ groups $ read_only $ health
-      $ trace_out_arg () $ trace_cap_arg)
+      $ cost_profile_arg $ trace_out_arg () $ trace_cap_arg)
 
 let trace_cmd =
   let doc =
@@ -250,13 +264,14 @@ let trace_cmd =
           ~doc:"Virtual-time sampling interval in seconds for $(b,--series)."
           ~docv:"SECONDS")
   in
-  let run arg res ops seed read_only sim_events trace_out trace_cap chrome
+  let run arg res ops seed read_only sim_events cal trace_out trace_cap chrome
       series_out series_every =
     let module Trace = Bft_trace.Trace in
     let module Timeline = Bft_trace.Timeline in
     let trace = Trace.create ~capacity:trace_cap ~sim_events () in
+    Printf.printf "cost profile: %s\n" (Bft_sim.Calibration.name cal);
     let pr =
-      Microbench.bft_profile ~arg ~res ~ops ~seed ~trace ~read_only
+      Microbench.bft_profile ~arg ~res ~ops ~seed ~cal ~trace ~read_only
         ?series_every:(Option.map (fun _ -> series_every) series_out)
         ()
     in
@@ -308,7 +323,8 @@ let trace_cmd =
     (Cmd.info "trace" ~doc)
     Term.(
       const run $ arg_size $ res_size $ ops $ seed $ read_only $ sim_events
-      $ trace_out_required $ trace_cap_arg $ chrome $ series_out $ series_every)
+      $ cost_profile_arg $ trace_out_required $ trace_cap_arg $ chrome
+      $ series_out $ series_every)
 
 let profile_cmd =
   let doc =
@@ -327,14 +343,41 @@ let profile_cmd =
   let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Measured operations.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let read_only = Arg.(value & flag & info [ "read-only" ] ~doc:"Read-only op.") in
-  let run arg res ops seed read_only trace_out trace_cap =
+  let rotating =
+    Arg.(
+      value & flag
+      & info [ "rotating" ]
+          ~doc:
+            "Run under rotating ordering so the per-owner breakdown shows \
+             proposals spread over all replicas (with any null fills and \
+             reclaims).")
+  in
+  let epoch_length =
+    Arg.(
+      value & opt int 4
+      & info [ "epoch-length" ]
+          ~doc:"Epoch length (slots per owner) for $(b,--rotating).")
+  in
+  let run arg res ops seed read_only rotating epoch_length cal trace_out
+      trace_cap =
     let module Trace = Bft_trace.Trace in
     let trace =
       match trace_out with
       | Some _ -> Trace.create ~capacity:trace_cap ()
       | None -> Trace.nil
     in
-    let pr = Microbench.bft_profile ~arg ~res ~ops ~seed ~trace ~read_only () in
+    Printf.printf "cost profile: %s\n" (Bft_sim.Calibration.name cal);
+    let config =
+      if rotating then
+        Bft_core.Config.make ~f:1
+          ~ordering:(Bft_core.Config.Rotating { epoch_length })
+          ()
+      else Bft_core.Config.make ~f:1 ()
+    in
+    let pr =
+      Microbench.bft_profile ~config ~arg ~res ~ops ~seed ~cal ~trace
+        ~read_only ()
+    in
     let r = pr.Microbench.pf_latency in
     Report.print (Report.profile_section pr.Microbench.pf_profile);
     print_newline ();
@@ -342,6 +385,16 @@ let profile_cmd =
       (Report.crypto_section
          ~ops:(Microbench.latency_warmup + r.Microbench.ops)
          pr.Microbench.pf_crypto);
+    print_newline ();
+    print_endline "ordering owners:";
+    Printf.printf "  %-10s %10s %10s %10s\n" "replica" "batches" "null-fill"
+      "reclaims";
+    List.iter
+      (fun o ->
+        Printf.printf "  replica%-3d %10d %10d %10d\n" o.Microbench.ow_id
+          o.Microbench.ow_batches o.Microbench.ow_null_fill
+          o.Microbench.ow_reclaim)
+      pr.Microbench.pf_owners;
     Printf.printf "\nlatency: %8.1f us (+/- %.1f, %d ops)\n"
       (r.Microbench.mean *. 1e6)
       (r.Microbench.stddev *. 1e6)
@@ -358,8 +411,8 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
-      const run $ arg_size $ res_size $ ops $ seed $ read_only $ trace_out_arg ()
-      $ trace_cap_arg)
+      const run $ arg_size $ res_size $ ops $ seed $ read_only $ rotating
+      $ epoch_length $ cost_profile_arg $ trace_out_arg () $ trace_cap_arg)
 
 (* Shared by andrew and postmark: phase table, CPU profile attribution and
    health summary of an observed file-system run. *)
@@ -667,8 +720,21 @@ let bench_cmd =
              the per-bench summaries. Virtual-time results — and so the \
              golden comparison — are byte-identical either way.")
   in
-  let run quick seed groups health json_out golden write_golden =
-    let t = Saturation.run ~quick ~seed ~max_groups:groups ~health () in
+  let run quick seed groups health cal json_out golden write_golden =
+    let default_profile =
+      String.equal
+        (Bft_sim.Calibration.name cal)
+        (Bft_sim.Calibration.name Bft_sim.Calibration.default)
+    in
+    (if (not default_profile) && (golden <> None || write_golden <> None) then begin
+       Printf.eprintf
+         "bft_lab bench: the golden surface is pinned to the %s profile; \
+          --golden/--write-golden cannot be used with --cost-profile %s\n"
+         (Bft_sim.Calibration.name Bft_sim.Calibration.default)
+         (Bft_sim.Calibration.name cal);
+       exit 2
+     end);
+    let t = Saturation.run ~quick ~seed ~max_groups:groups ~health ~cal () in
     Saturation.print t;
     if health && Saturation.health_alerts t > 0 then begin
       Printf.eprintf
@@ -716,8 +782,8 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
-      const run $ quick $ seed $ groups $ health $ json_out $ golden
-      $ write_golden)
+      const run $ quick $ seed $ groups $ health $ cost_profile_arg $ json_out
+      $ golden $ write_golden)
 
 let monitor_cmd =
   let doc =
@@ -924,7 +990,7 @@ let overload_cmd =
              proves the burst actually exceeded capacity).")
   in
   let run seed rate burst period duty duration stubs queue_limit drop_oldest
-      retry_budget json_out bundle_out require_shed =
+      retry_budget cal json_out bundle_out require_shed =
     let process =
       if burst <= 1.0 then Openloop.Poisson { rate }
       else
@@ -938,7 +1004,8 @@ let overload_cmd =
            else Bft_core.Config.Reject_new)
         ~shed_retry_budget:retry_budget ()
     in
-    let r = Openloop.run ~config ~seed ~stubs ~duration process () in
+    let r = Openloop.run ~config ~seed ~cal ~stubs ~duration process () in
+    Printf.printf "cost profile: %s\n" (Bft_sim.Calibration.name cal);
     Printf.printf "overload seed %d, %.0f ops/s x%.0f burst (duty %.2f): %s\n"
       seed rate burst duty (Openloop.summary r);
     Printf.printf "health: %s\n" (Monitor.summary r.Openloop.ol_monitor);
@@ -948,7 +1015,8 @@ let overload_cmd =
     let jsonl =
       let b = Buffer.create 256 in
       Printf.bprintf b
-        "{\"schema\":\"bft-lab/overload/v1\",\"seed\":%d,\"rate\":%.3f,\"burst\":%.3f,\"period\":%.3f,\"duty\":%.3f,\"duration\":%.3f,\"stubs\":%d,\"queue_limit\":%d,\"offered\":%d,\"completed\":%d,\"rejected\":%d,\"unresolved\":%d,\"sheds\":%d,\"shed_rate\":%.3f,\"goodput\":%.3f,\"peak_backlog\":%d,\"peak_queue\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"retransmissions\":%d,\"safety_violations\":%d,\"alerts\":["
+        "{\"schema\":\"bft-lab/overload/v2\",\"cost_profile\":%S,\"seed\":%d,\"rate\":%.3f,\"burst\":%.3f,\"period\":%.3f,\"duty\":%.3f,\"duration\":%.3f,\"stubs\":%d,\"queue_limit\":%d,\"offered\":%d,\"completed\":%d,\"rejected\":%d,\"unresolved\":%d,\"sheds\":%d,\"shed_rate\":%.3f,\"goodput\":%.3f,\"peak_backlog\":%d,\"peak_queue\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"retransmissions\":%d,\"safety_violations\":%d,\"alerts\":["
+        (Bft_sim.Calibration.name cal)
         seed rate burst period duty duration stubs queue_limit
         r.Openloop.ol_offered r.Openloop.ol_completed r.Openloop.ol_rejected
         r.Openloop.ol_unresolved r.Openloop.ol_sheds r.Openloop.ol_shed_rate
@@ -997,8 +1065,83 @@ let overload_cmd =
   Cmd.v (Cmd.info "overload" ~doc)
     Term.(
       const run $ seed $ rate $ burst $ period $ duty $ duration $ stubs
-      $ queue_limit $ drop_oldest $ retry_budget $ json_out $ bundle_out
-      $ require_shed)
+      $ queue_limit $ drop_oldest $ retry_budget $ cost_profile_arg $ json_out
+      $ bundle_out $ require_shed)
+
+let model_cmd =
+  let doc =
+    "Analytic performance model: predict per-request CPU and wire occupancy, \
+     the saturation knee and its binding resource, and unloaded latency from \
+     a cost profile — then compare the predictions against every row of the \
+     golden virtual-time bench surface and report relative errors. With \
+     $(b,--check), exit non-zero if any row falls outside the tolerance band \
+     (the CI gate on the default profile)."
+  in
+  let module Model = Bft_workloads.Model in
+  let module Calibration = Bft_sim.Calibration in
+  let golden_file =
+    Arg.(
+      value
+      & opt string "bench/golden_bench_virtual.json"
+      & info [ "golden" ]
+          ~doc:"Golden virtual-time bench surface to compare against."
+          ~docv:"FILE")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero when any predicted row is outside the tolerance \
+             band, or when the golden file was benched under a different \
+             cost profile than the one selected.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float Model.default_tolerance
+      & info [ "tolerance" ]
+          ~doc:"Relative-error band for $(b,--check)." ~docv:"FRACTION")
+  in
+  let run cal golden_file check tolerance =
+    let contents =
+      try In_channel.with_open_bin golden_file In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "bft_lab: cannot read golden %s: %s\n" golden_file msg;
+        exit 2
+    in
+    let golden =
+      try Model.Golden.parse contents
+      with Failure msg ->
+        Printf.eprintf "bft_lab: %s: %s\n" golden_file msg;
+        exit 2
+    in
+    if not (String.equal golden.Model.Golden.g_profile (Calibration.name cal))
+    then begin
+      Printf.eprintf
+        "bft_lab model: golden %s was benched under profile %s, not %s — \
+         the observed column would compare apples to oranges\n"
+        golden_file golden.Model.Golden.g_profile (Calibration.name cal);
+      if check then exit 1
+    end;
+    let report = Model.report ~tolerance ~cal ~golden () in
+    print_string (Model.render report);
+    print_newline ();
+    print_endline (Model.summary ~cal ~arg:0 ~res:0 ());
+    print_newline ();
+    print_endline (Model.summary ~cal ~arg:4096 ~res:0 ());
+    if check then
+      if Model.report_ok report then
+        Printf.printf "\nmodel check: OK (every row within %.0f%%)\n"
+          (tolerance *. 100.0)
+      else begin
+        Printf.eprintf "\nmodel check FAILED: prediction outside the %.0f%% band\n"
+          (tolerance *. 100.0);
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ cost_profile_arg $ golden_file $ check $ tolerance)
 
 let all_cmd =
   let doc = "Run every figure (the full benchmark suite)." in
@@ -1028,6 +1171,7 @@ let cmds =
     latency_cmd;
     throughput_cmd;
     bench_cmd;
+    model_cmd;
     trace_cmd;
     profile_cmd;
     monitor_cmd;

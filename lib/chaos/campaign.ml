@@ -167,6 +167,8 @@ let run ?(ordering = Config.Single_primary) ?(unsafe_no_commit_quorum = false)
       ("campaign.f", string_of_int f);
       ("campaign.ordering", ordering_text ordering);
       ("campaign.plan", plan_text plan);
+      ( "cost_profile",
+        Bft_sim.Calibration.name (Cluster.calibration cluster) );
     ];
   Monitor.set_flight_recorder ~trace
     ~profile:(fun () -> Cluster.profile cluster)

@@ -175,6 +175,8 @@ let health_gauges t =
           r_replay_dropped =
             Metrics.count (Replica.metrics r) "auth.replay_dropped";
           r_shed = Replica.sheds r;
+          r_null_fill = Metrics.count (Replica.metrics r) "rotate.null_fill";
+          r_reclaim = Metrics.count (Replica.metrics r) "rotate.reclaim";
           r_ordering_owner = Replica.ordering_owner r;
         })
       t.replicas

@@ -8,6 +8,8 @@
     the paper anchors the defaults were fitted to). *)
 
 type t = {
+  name : string;
+      (** profile name stamped into bench rows / traces / monitor bundles *)
   (* --- per-machine CPU costs, in seconds at speed 1.0 (600 MHz PIII) --- *)
   udp_send_cost : float;  (** kernel UDP send path, per datagram *)
   udp_recv_cost : float;  (** kernel UDP receive path, per datagram *)
@@ -32,7 +34,29 @@ type t = {
 }
 
 val default : t
-(** Calibrated to the DSN'01 anchors. *)
+(** Calibrated to the DSN'01 anchors — the [testbed-2001] profile. *)
+
+val testbed_2001 : t
+(** [= default]: the paper's 600 MHz PIII / switched 100 Mb/s testbed. *)
+
+val tengbe_kernel : t
+(** ["10gbe-kernel"]: modern CPU (fast digest/MAC, cheap copies), kernel
+    UDP stack (~3 us per datagram), 10 GbE serialization, NVMe disk. *)
+
+val rdma_zerocopy : t
+(** ["rdma-zerocopy"]: kernel-bypass transport — near-zero per-message
+    stack cost, zero-copy payloads, 25 GbE — same crypto as
+    {!tengbe_kernel}, so the remaining CPU term is crypto + protocol. *)
+
+val profiles : (string * t) list
+(** All named cost profiles, [(name, profile)], in presentation order. *)
+
+val profile_names : string list
+
+val find : string -> t option
+(** Look a profile up by name. *)
+
+val name : t -> string
 
 val digest_cost : t -> int -> float
 (** CPU seconds to digest [n] bytes. *)

@@ -33,6 +33,12 @@ type replica_gauges = {
   r_log_depth : int;  (** live slots in the message log *)
   r_replay_dropped : int;  (** cumulative authenticator replays dropped *)
   r_shed : int;  (** cumulative requests shed by admission control *)
+  r_null_fill : int;
+      (** cumulative rotating-mode null fills: own slots abandoned below an
+          epoch handoff and filled with null batches *)
+  r_reclaim : int;
+      (** cumulative rotating-mode reclaims: a silent owner's in-window
+          slots nulled by the primary *)
   r_ordering_owner : int;
       (** who this replica expects to propose the next uncommitted slot:
           the view primary, or the current epoch owner under rotating
@@ -164,6 +170,8 @@ type t = {
   mutable slo_armed : bool;
   (* overload gauges *)
   mutable shed_total : int;  (** cumulative sheds at the newest tick *)
+  mutable null_fill_total : int;  (** cumulative rotating null fills *)
+  mutable reclaim_total : int;  (** cumulative rotating reclaims *)
   mutable shed_rate : float;  (** sheds per virtual second, last interval *)
   mutable rejected_total : int;  (** cumulative explicit client rejections *)
   mutable peak_queue : int;  (** highest per-replica queue depth observed *)
@@ -198,6 +206,8 @@ let create ?(limits = default_limits) ?(window = 256) ?(group = "") () =
     divergence_seen = Hashtbl.create 8;
     slo_armed = true;
     shed_total = 0;
+    null_fill_total = 0;
+    reclaim_total = 0;
     shed_rate = 0.0;
     rejected_total = 0;
     peak_queue = 0;
@@ -229,6 +239,10 @@ let last_gauges t = t.last
 
 let shed_total t = t.shed_total
 
+let null_fill_total t = t.null_fill_total
+
+let reclaim_total t = t.reclaim_total
+
 let shed_rate t = t.shed_rate
 
 let rejected_total t = t.rejected_total
@@ -248,11 +262,11 @@ let gauges_json t g =
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b
-        "{\"id\":%d,\"up\":%b,\"view\":%d,\"exec\":%d,\"commit\":%d,\"stable\":%d,\"digest\":\"%s\",\"queue\":%d,\"backlog\":%d,\"log\":%d,\"replay_dropped\":%d,\"shed\":%d,\"owner\":%d}"
+        "{\"id\":%d,\"up\":%b,\"view\":%d,\"exec\":%d,\"commit\":%d,\"stable\":%d,\"digest\":\"%s\",\"queue\":%d,\"backlog\":%d,\"log\":%d,\"replay_dropped\":%d,\"shed\":%d,\"null_fill\":%d,\"reclaim\":%d,\"owner\":%d}"
         r.r_id r.r_reachable r.r_view r.r_last_executed r.r_last_committed
         r.r_last_stable (Trace.escape r.r_stable_digest) r.r_queue_depth
-        r.r_backlog r.r_log_depth r.r_replay_dropped r.r_shed
-        r.r_ordering_owner)
+        r.r_backlog r.r_log_depth r.r_replay_dropped r.r_shed r.r_null_fill
+        r.r_reclaim r.r_ordering_owner)
     g.g_replicas;
   Buffer.add_string b "]}";
   Buffer.contents b
@@ -424,6 +438,10 @@ let observe t g =
     t.shed_rate <- float_of_int (shed_now - shed_prev) /. (now -. prev.g_time)
   | _ -> ());
   t.shed_total <- shed_now;
+  t.null_fill_total <-
+    Array.fold_left (fun acc r -> acc + r.r_null_fill) 0 g.g_replicas;
+  t.reclaim_total <-
+    Array.fold_left (fun acc r -> acc + r.r_reclaim) 0 g.g_replicas;
   t.rejected_total <- g.g_rejected;
   Array.iter
     (fun r -> if r.r_queue_depth > t.peak_queue then t.peak_queue <- r.r_queue_depth)
@@ -560,6 +578,10 @@ let summary t =
      else
        Printf.sprintf "; shed %d (rejected %d, peak queue %d)" t.shed_total
          t.rejected_total t.peak_queue)
+    ^ (if t.null_fill_total = 0 && t.reclaim_total = 0 then ""
+       else
+         Printf.sprintf "; rotate null-fill %d reclaim %d" t.null_fill_total
+           t.reclaim_total)
 
 let alerts_json t =
   let b = Buffer.create 128 in

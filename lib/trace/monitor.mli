@@ -54,6 +54,12 @@ type replica_gauges = {
   r_log_depth : int;  (** live slots in the message log *)
   r_replay_dropped : int;  (** cumulative authenticator replays dropped *)
   r_shed : int;  (** cumulative requests shed by admission control *)
+  r_null_fill : int;
+      (** cumulative rotating-mode null fills: own slots abandoned below an
+          epoch handoff and filled with null batches *)
+  r_reclaim : int;
+      (** cumulative rotating-mode reclaims: a silent owner's in-window
+          slots nulled by the primary *)
   r_ordering_owner : int;
       (** who this replica expects to propose the next uncommitted slot:
           the view primary, or the current epoch owner under rotating
@@ -151,6 +157,12 @@ val shed_rate : t -> float
 
 val rejected_total : t -> int
 (** Total client operations explicitly rejected, newest tick. *)
+
+val null_fill_total : t -> int
+(** Total rotating-mode null fills across replicas, newest tick. *)
+
+val reclaim_total : t -> int
+(** Total rotating-mode owner reclaims across replicas, newest tick. *)
 
 val peak_queue : t -> int
 (** Highest per-replica admission-queue depth ever observed — what the

@@ -24,11 +24,12 @@ let latency_warmup = 8
 (* Shared latency rig; returns the cluster (and the optional series ring)
    so profiling callers can read CPU state after the run. *)
 let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
-    ?(trace = Bft_trace.Trace.nil) ?series_every ?(series_cap = 4096) ?monitor
-    ~arg ~res ~read_only () =
+    ?(cal = Calibration.default) ?(trace = Bft_trace.Trace.nil) ?series_every
+    ?(series_cap = 4096) ?monitor ~arg ~res ~read_only () =
   let cluster =
-    Cluster.create ~seed ~client_machines:1 ~client_machine_speed:client_speed
-      ~trace ~config ~service:(fun _ -> Service.null ()) ()
+    Cluster.create ~cal ~seed ~client_machines:1
+      ~client_machine_speed:client_speed ~trace ~config
+      ~service:(fun _ -> Service.null ()) ()
   in
   let client = Cluster.add_client cluster in
   let op = Service.null_op ~read_only ~arg_size:arg ~result_size:res in
@@ -68,37 +69,59 @@ let latency_run ?(config = Config.make ~f:1 ()) ?(ops = 200) ?(seed = 42)
     { mean = Stats.mean stats; stddev = Stats.stddev stats; ops = Stats.count stats }
   )
 
-let bft_latency ?config ?ops ?seed ?trace ?monitor ~arg ~res ~read_only () =
+let bft_latency ?config ?ops ?seed ?cal ?trace ?monitor ~arg ~res ~read_only ()
+    =
   let _, _, r =
-    latency_run ?config ?ops ?seed ?trace ?monitor ~arg ~res ~read_only ()
+    latency_run ?config ?ops ?seed ?cal ?trace ?monitor ~arg ~res ~read_only ()
   in
   r
+
+type owner_row = {
+  ow_id : int;
+  ow_batches : int;
+  ow_null_fill : int;
+  ow_reclaim : int;
+}
 
 type profile_result = {
   pf_latency : latency_result;
   pf_profile : Bft_trace.Profile.t;
   pf_crypto : Bft_crypto.Tally.snapshot;
   pf_series : Bft_trace.Series.t option;
+  pf_owners : owner_row list;
 }
 
-let bft_profile ?config ?ops ?seed ?trace ?series_every ?series_cap ?monitor
-    ~arg ~res ~read_only () =
+let bft_profile ?config ?ops ?seed ?cal ?trace ?series_every ?series_cap
+    ?monitor ~arg ~res ~read_only () =
   Bft_crypto.Tally.reset ();
   let cluster, series, lat =
-    latency_run ?config ?ops ?seed ?trace ?series_every ?series_cap ?monitor
-      ~arg ~res ~read_only ()
+    latency_run ?config ?ops ?seed ?cal ?trace ?series_every ?series_cap
+      ?monitor ~arg ~res ~read_only ()
+  in
+  let owners =
+    Array.to_list
+      (Array.map
+         (fun r ->
+           let m = Replica.metrics r in
+           {
+             ow_id = Replica.id r;
+             ow_batches = Metrics.count m "batch.sent";
+             ow_null_fill = Metrics.count m "rotate.null_fill";
+             ow_reclaim = Metrics.count m "rotate.reclaim";
+           })
+         (Cluster.replicas cluster))
   in
   {
     pf_latency = lat;
     pf_profile = Cluster.profile cluster;
     pf_crypto = Bft_crypto.Tally.snapshot ();
     pf_series = series;
+    pf_owners = owners;
   }
 
 (* A NO-REP rig: one server machine, [machines] client machines. *)
-let norep_rig ~seed ~machines ~clients ~retry =
+let norep_rig ?(cal = Calibration.default) ~seed ~machines ~clients ~retry () =
   let engine = Engine.create () in
-  let cal = Calibration.default in
   let rng = Rng.of_int seed in
   let net = Network.create engine cal ~rng:(Rng.split rng "network") in
   (* The NO-REP server runs with stock (small) socket buffers — the reason
@@ -121,7 +144,9 @@ let norep_rig ~seed ~machines ~clients ~retry =
   (engine, server, clients)
 
 let norep_latency ?(ops = 200) ?(seed = 42) ~arg ~res () =
-  let engine, _server, clients = norep_rig ~seed ~machines:1 ~clients:1 ~retry:true in
+  let engine, _server, clients =
+    norep_rig ~seed ~machines:1 ~clients:1 ~retry:true ()
+  in
   let client = List.hd clients in
   let op = Service.null_op ~read_only:false ~arg_size:arg ~result_size:res in
   let warmup = 8 in
@@ -160,10 +185,10 @@ let measure_window ~engine ~warmup ~window ~per_client_counts =
   (completed, stalled)
 
 let bft_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42) ?(warmup = 0.5)
-    ?(window = 1.0) ?(trace = Bft_trace.Trace.nil) ?monitor ~arg ~res
-    ~read_only ~clients () =
+    ?(window = 1.0) ?(cal = Calibration.default)
+    ?(trace = Bft_trace.Trace.nil) ?monitor ~arg ~res ~read_only ~clients () =
   let cluster =
-    Cluster.create ~seed ~client_machines:5 ~trace ~config
+    Cluster.create ~cal ~seed ~client_machines:5 ~trace ~config
       ~service:(fun _ -> Service.null ()) ()
   in
   (* The throughput rig only ever runs to explicit horizons, so the
@@ -215,13 +240,14 @@ type sharded_result = {
 }
 
 let sharded_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
-    ?(warmup = 0.5) ?(window = 1.0) ?(trace = Bft_trace.Trace.nil)
-    ?(key_space = 4096) ?(health = false) ~groups ~clients_per_group () =
+    ?(warmup = 0.5) ?(window = 1.0) ?(cal = Calibration.default)
+    ?(trace = Bft_trace.Trace.nil) ?(key_space = 4096) ?(health = false)
+    ~groups ~clients_per_group () =
   let module Rig = Bft_shard.Rig in
   let module Proxy = Bft_shard.Proxy in
   let module Kv = Bft_services.Kv_store in
   let rig =
-    Rig.create ~seed ~trace ~groups ~config
+    Rig.create ~cal ~seed ~trace ~groups ~config
       ~service:(fun ~group:_ _ -> Kv.service ())
       ()
   in
@@ -276,7 +302,7 @@ let sharded_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
 let norep_throughput ?(seed = 42) ?(warmup = 0.5) ?(window = 1.0) ?(retry = false)
     ~arg ~res ~clients () =
   let engine, server, client_list =
-    norep_rig ~seed ~machines:5 ~clients ~retry
+    norep_rig ~seed ~machines:5 ~clients ~retry ()
   in
   let network = Norep.Server.network server in
   let op = Service.null_op ~read_only:false ~arg_size:arg ~result_size:res in

@@ -1,6 +1,8 @@
 (** Micro-benchmark drivers for the paper's "simple service": operations
     with an [a]-byte argument and a [b]-byte zero-filled result, read-write
-    or read-only, against BFT (any configuration) or NO-REP. *)
+    or read-only, against BFT (any configuration) or NO-REP. Every driver
+    takes an optional [cal] cost profile ({!Bft_sim.Calibration.profiles});
+    the default is the paper's [testbed-2001]. *)
 
 type latency_result = {
   mean : float;  (** seconds *)
@@ -16,6 +18,7 @@ val bft_latency :
   ?config:Bft_core.Config.t ->
   ?ops:int ->
   ?seed:int ->
+  ?cal:Bft_sim.Calibration.t ->
   ?trace:Bft_trace.Trace.t ->
   ?monitor:Bft_trace.Monitor.t ->
   arg:int ->
@@ -31,6 +34,15 @@ val bft_latency :
     observation is pure, so the measured numbers are bit-identical with
     and without it. *)
 
+(** One ordering owner's share of the run: batches it proposed and, under
+    rotating ordering, its null fills and reclaims. *)
+type owner_row = {
+  ow_id : int;
+  ow_batches : int;  (** PRE-PREPAREs this replica sent ([batch.sent]) *)
+  ow_null_fill : int;  (** [rotate.null_fill] counter *)
+  ow_reclaim : int;  (** [rotate.reclaim] counter *)
+}
+
 type profile_result = {
   pf_latency : latency_result;
   pf_profile : Bft_trace.Profile.t;
@@ -39,12 +51,15 @@ type profile_result = {
       (** crypto operation counts over the whole run (setup included) *)
   pf_series : Bft_trace.Series.t option;
       (** metric snapshots, when [series_every] was given *)
+  pf_owners : owner_row list;
+      (** per-replica ordering-ownership breakdown, replica order *)
 }
 
 val bft_profile :
   ?config:Bft_core.Config.t ->
   ?ops:int ->
   ?seed:int ->
+  ?cal:Bft_sim.Calibration.t ->
   ?trace:Bft_trace.Trace.t ->
   ?series_every:float ->
   ?series_cap:int ->
@@ -81,6 +96,7 @@ val bft_throughput :
   ?seed:int ->
   ?warmup:float ->
   ?window:float ->
+  ?cal:Bft_sim.Calibration.t ->
   ?trace:Bft_trace.Trace.t ->
   ?monitor:Bft_trace.Monitor.t ->
   arg:int ->
@@ -111,6 +127,7 @@ val sharded_throughput :
   ?seed:int ->
   ?warmup:float ->
   ?window:float ->
+  ?cal:Bft_sim.Calibration.t ->
   ?trace:Bft_trace.Trace.t ->
   ?key_space:int ->
   ?health:bool ->

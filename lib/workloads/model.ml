@@ -1,0 +1,764 @@
+(* Analytic performance model: predicts the benches from a cost profile.
+
+   Given a {!Bft_sim.Calibration} profile and the protocol parameters, the
+   model computes per-request CPU and wire occupancy at the primary and the
+   backups from the same per-message cost formulas the simulator charges
+   (Transport send/recv crypto + Network encode/decode + link
+   serialization), then turns them into three predictions:
+
+   - unloaded latency: the serial critical path of one batch-of-one round
+     (request -> pre-prepare -> prepare -> tentative execution -> reply);
+   - closed-loop throughput at [k] clients: a batch-cycle model. With
+     [batch_window = 1] the primary proposes at most one batch ahead of
+     execution, so the steady state is an alternation: cycle time is the
+     larger of the primary's CPU work per batch and the non-overlappable
+     critical path, plus (while there are no spare clients to keep the
+     queue full) the client turnaround stall;
+   - the saturation knee: throughput at the maximum batch size, capped by
+     whichever resource — primary CPU, backup CPU, a host link, or the
+     client machines — saturates first. The binding resource is the
+     argmin, which is what flips between cost profiles: on the 2001
+     testbed large ops are link-bound; on a 10 GbE kernel stack everything
+     is CPU-bound; with a zero-copy transport only crypto + protocol work
+     is left.
+
+   Message sizes are exact: the model encodes representative messages with
+   the real wire codec rather than re-deriving header arithmetic. *)
+
+open Bft_core
+module Calibration = Bft_sim.Calibration
+module Fingerprint = Bft_crypto.Fingerprint
+
+type resource = Primary_cpu | Backup_cpu | Link | Client_cpu
+
+let resource_name = function
+  | Primary_cpu -> "primary-cpu"
+  | Backup_cpu -> "backup-cpu"
+  | Link -> "link"
+  | Client_cpu -> "client-cpu"
+
+(* --- exact datagram sizes from the real codec ------------------------- *)
+
+(* Auth.wire_size: 8-byte nonce + 4-byte entry count + one (2-byte
+   principal, 8-byte UMAC tag) entry per target. *)
+let auth_wire_size ~targets = 8 + 4 + (targets * (2 + 8))
+
+let datagram ~targets msg =
+  String.length (Message.encode_prefix ~sender:0 ~msg ~commits:[])
+  + Message.padding msg
+  + auth_wire_size ~targets
+
+(* Representative messages for an [arg]/[res] null-service operation. *)
+type sizes = {
+  sz_request : int;  (** client request datagram *)
+  sz_request_targets : int;  (** 1 inline, [n] when separately transmitted *)
+  sz_pre_prepare : int;  (** batch of [b] entries *)
+  sz_prepare : int;
+  sz_commit : int;
+  sz_reply_digest : int;
+  sz_reply_full : int;
+  sz_checkpoint : int;
+}
+
+let request_for ~arg =
+  {
+    Message.client = 1000;
+    timestamp = 1L;
+    read_only = false;
+    full_replies = false;
+    replier = 0;
+    op = Payload.zeros arg;
+  }
+
+let sizes ~(cfg : Config.t) ~arg ~res ~batch =
+  let req = request_for ~arg in
+  let digest = Message.request_digest req in
+  let inline =
+    (not cfg.separate_request_transmission) || arg <= cfg.inline_threshold
+  in
+  let entry =
+    if inline then Message.Full req else Message.Summary digest
+  in
+  let pp =
+    Message.Pre_prepare
+      { view = 0; seq = 1; entries = List.init batch (fun _ -> entry) }
+  in
+  let prepare = Message.Prepare { view = 0; seq = 1; digest; replica = 1 } in
+  let commit = Message.Commit { view = 0; seq = 1; digest; replica = 1 } in
+  let reply body =
+    Message.Reply
+      {
+        view = 0;
+        timestamp = 1L;
+        client = 1000;
+        replica = 1;
+        tentative = true;
+        epoch = 0;
+        body;
+      }
+  in
+  let checkpoint =
+    Message.Checkpoint { seq = 128; digest; replica = 1 }
+  in
+  {
+    sz_request =
+      datagram ~targets:(if inline then 1 else cfg.n) (Message.Request req);
+    sz_request_targets = (if inline then 1 else cfg.n);
+    sz_pre_prepare = datagram ~targets:(cfg.n - 1) pp;
+    sz_prepare = datagram ~targets:(cfg.n - 1) prepare;
+    sz_commit = datagram ~targets:(cfg.n - 1) commit;
+    sz_reply_digest =
+      datagram ~targets:1 (reply (Message.Result_digest digest));
+    sz_reply_full =
+      datagram ~targets:1 (reply (Message.Full_result (Payload.zeros res)));
+    sz_checkpoint = datagram ~targets:(cfg.n - 1) checkpoint;
+  }
+
+(* --- per-message costs (mirrors Transport + Network charges) ---------- *)
+
+let send_cpu (cal : Calibration.t) ~size ~targets =
+  cal.udp_send_cost
+  +. (float_of_int size *. cal.byte_touch_cost)
+  +. Calibration.digest_cost cal size
+  +. (float_of_int targets *. Calibration.mac_cost cal Fingerprint.size)
+  +. cal.protocol_op_cost
+
+let recv_cpu (cal : Calibration.t) ~size =
+  cal.udp_recv_cost
+  +. (float_of_int size *. cal.byte_touch_cost)
+  +. Calibration.digest_cost cal size
+  +. Calibration.mac_cost cal Fingerprint.size
+  +. cal.protocol_op_cost
+
+(* One switched hop: egress serialization, switch, ingress serialization. *)
+let wire_lat (cal : Calibration.t) ~size =
+  (2.0 *. Calibration.transmission_time cal size) +. cal.switch_latency
+
+let per_req (cost : float) ~batch = cost /. float_of_int batch
+
+type prediction = {
+  pr_profile : string;
+  pr_clients : int;
+  pr_batch : int;  (** modeled steady-state batch size *)
+  pr_ops_per_sec : float;  (** predicted closed-loop throughput *)
+  pr_knee_ops_per_sec : float;  (** saturation ceiling over all resources *)
+  pr_binding : resource;  (** what binds at the ceiling *)
+  pr_latency : float;  (** unloaded latency, seconds *)
+  pr_primary_cpu : float;  (** CPU seconds per request at the primary *)
+  pr_backup_cpu : float;  (** CPU seconds per request at a backup *)
+  pr_client_cpu : float;  (** CPU seconds per request on client machines *)
+  pr_primary_out_bytes : float;  (** egress wire bytes per request *)
+  pr_primary_in_bytes : float;
+  pr_backup_out_bytes : float;
+  pr_backup_in_bytes : float;
+}
+
+(* Client machines the throughput rigs spread closed-loop clients over. *)
+let default_client_machines = 5
+
+(* The latency rig's single client machine runs at the paper's 700 MHz. *)
+let latency_client_speed = 700.0 /. 600.0
+
+let exec_cpu (cal : Calibration.t) ~exec_fixed ~arg ~res =
+  (* Service execute_cost (fixed, profile-independent) plus the simulator's
+     byte_touch charge on the produced result. [arg] only matters through
+     the service's own cost hook, which the null service ignores. *)
+  ignore arg;
+  exec_fixed +. (float_of_int res *. cal.byte_touch_cost)
+
+let predict ?(config = Config.make ~f:1 ())
+    ?(client_machines = default_client_machines) ?(exec_fixed = 0.0)
+    ~(cal : Calibration.t) ~arg ~res ~clients () =
+  let cfg = config in
+  let n = cfg.n and f = cfg.f in
+  let b = max 1 (min clients cfg.max_batch_requests) in
+  let sz = sizes ~cfg ~arg ~res ~batch:b in
+  let sz1 = sizes ~cfg ~arg ~res ~batch:1 in
+  let send = send_cpu cal and recv = recv_cpu cal in
+  let exec = exec_cpu cal ~exec_fixed ~arg ~res in
+  let fb = float_of_int b in
+  (* Per-batch CPU at the primary: ingest b requests, multicast the
+     pre-prepare, verify the backups' prepares, execute tentatively, send b
+     replies, multicast its commit and verify n-1 commits (the default
+     config multicasts commits eagerly), plus the amortized checkpoint. *)
+  let ckpt_amort =
+    (send ~size:sz.sz_checkpoint ~targets:(n - 1)
+    +. (float_of_int (n - 1) *. recv ~size:sz.sz_checkpoint))
+    /. float_of_int cfg.checkpoint_interval
+  in
+  let commit_cpu =
+    send ~size:sz.sz_commit ~targets:(n - 1)
+    +. (float_of_int (n - 1) *. recv ~size:sz.sz_commit)
+  in
+  let reply_send = send ~size:sz.sz_reply_digest ~targets:1 in
+  let primary_batch_cpu =
+    (fb *. recv ~size:sz.sz_request)
+    +. send ~size:sz.sz_pre_prepare ~targets:(n - 1)
+    +. (float_of_int (n - 1) *. recv ~size:sz.sz_prepare)
+    +. (fb *. (exec +. reply_send))
+    +. commit_cpu +. ckpt_amort
+  in
+  (* A backup: receive the pre-prepare (plus the separately-transmitted
+     request bodies when the client multicasts), multicast its prepare,
+     verify the other backups' prepares, execute, reply, commit. *)
+  let backup_batch_cpu =
+    recv ~size:sz.sz_pre_prepare
+    +. (if sz.sz_request_targets > 1 then fb *. recv ~size:sz.sz_request
+        else 0.0)
+    +. send ~size:sz.sz_prepare ~targets:(n - 1)
+    +. (float_of_int (n - 2) *. recv ~size:sz.sz_prepare)
+    +. (fb *. (exec +. reply_send))
+    +. commit_cpu +. ckpt_amort
+  in
+  (* Client machines: send the request, verify all n replies. *)
+  let client_req_cpu =
+    send ~size:sz1.sz_request ~targets:sz.sz_request_targets
+    +. (float_of_int (n - 1) *. recv ~size:sz1.sz_reply_digest)
+    +. recv ~size:sz1.sz_reply_full
+  in
+  (* Critical path of one batch round at the primary (requests already
+     queued): batch formation, pre-prepare hop, backup turnaround, the
+     2f-th prepare, execution and replies. *)
+  let path_nostall =
+    (fb *. recv ~size:sz.sz_request)
+    +. send ~size:sz.sz_pre_prepare ~targets:(n - 1)
+    +. wire_lat cal ~size:sz.sz_pre_prepare
+    +. recv ~size:sz.sz_pre_prepare
+    +. send ~size:sz.sz_prepare ~targets:(n - 1)
+    +. wire_lat cal ~size:sz.sz_prepare
+    +. (float_of_int (2 * f) *. recv ~size:sz.sz_prepare)
+    +. (fb *. (exec +. reply_send))
+  in
+  (* Client turnaround, appended when every client is in the batch (no
+     spare clients to keep the request queue non-empty). *)
+  let turnaround =
+    wire_lat cal ~size:sz.sz_reply_full
+    +. (float_of_int (2 * f) *. recv ~size:sz.sz_reply_digest)
+    +. recv ~size:sz.sz_reply_full
+    +. send ~size:sz1.sz_request ~targets:sz.sz_request_targets
+    +. wire_lat cal ~size:sz.sz_request
+  in
+  let cycle ~stalled =
+    max primary_batch_cpu path_nostall
+    +. (if stalled then turnaround else 0.0)
+  in
+  (* Wire occupancy per request, in bytes on each host's full-duplex link.
+     A multicast serializes once on the sender's egress. *)
+  let wb sz = float_of_int (Calibration.wire_bytes cal sz) in
+  let primary_out =
+    per_req (wb sz.sz_pre_prepare) ~batch:b
+    +. wb sz.sz_reply_digest
+    +. per_req (wb sz.sz_commit) ~batch:b
+  in
+  let primary_in =
+    wb sz.sz_request
+    +. (float_of_int (n - 1) *. per_req (wb sz.sz_prepare) ~batch:b)
+    +. (float_of_int (n - 1) *. per_req (wb sz.sz_commit) ~batch:b)
+  in
+  let backup_out =
+    per_req (wb sz.sz_prepare) ~batch:b
+    +. wb sz.sz_reply_digest
+    +. per_req (wb sz.sz_commit) ~batch:b
+  in
+  let backup_in =
+    per_req (wb sz.sz_pre_prepare) ~batch:b
+    +. (if sz.sz_request_targets > 1 then wb sz.sz_request else 0.0)
+    +. (float_of_int (n - 2) *. per_req (wb sz.sz_prepare) ~batch:b)
+    +. (float_of_int (n - 1) *. per_req (wb sz.sz_commit) ~batch:b)
+  in
+  let primary_cpu = primary_batch_cpu /. fb in
+  let backup_cpu = backup_batch_cpu /. fb in
+  let client_cpu = client_req_cpu in
+  let cap x = if x > 0.0 then 1.0 /. x else infinity in
+  let link_time bytes = bytes /. cal.link_bandwidth in
+  let caps =
+    [
+      (Primary_cpu, cap primary_cpu);
+      (Backup_cpu, cap backup_cpu);
+      ( Link,
+        cap
+          (link_time
+             (max (max primary_out primary_in) (max backup_out backup_in)))
+      );
+      (Client_cpu, float_of_int client_machines *. cap client_cpu);
+    ]
+  in
+  let binding, _ =
+    List.fold_left
+      (fun (br, bx) (r, x) -> if x < bx then (r, x) else (br, bx))
+      (Primary_cpu, cap primary_cpu)
+      (List.tl caps)
+  in
+  let resource_cap =
+    List.fold_left (fun acc (_, x) -> min acc x) infinity caps
+  in
+  (* The knee: cycle throughput at the maximum batch size with a full
+     request queue, clipped by the resource caps. *)
+  let knee =
+    let bmax = cfg.max_batch_requests in
+    let szk = sizes ~cfg ~arg ~res ~batch:bmax in
+    let fbm = float_of_int bmax in
+    let primary_k =
+      (fbm *. recv ~size:szk.sz_request)
+      +. send ~size:szk.sz_pre_prepare ~targets:(n - 1)
+      +. (float_of_int (n - 1) *. recv ~size:szk.sz_prepare)
+      +. (fbm *. (exec +. send ~size:szk.sz_reply_digest ~targets:1))
+      +. commit_cpu +. ckpt_amort
+    in
+    let path_k =
+      (fbm *. recv ~size:szk.sz_request)
+      +. send ~size:szk.sz_pre_prepare ~targets:(n - 1)
+      +. wire_lat cal ~size:szk.sz_pre_prepare
+      +. recv ~size:szk.sz_pre_prepare
+      +. send ~size:szk.sz_prepare ~targets:(n - 1)
+      +. wire_lat cal ~size:szk.sz_prepare
+      +. (float_of_int (2 * f) *. recv ~size:szk.sz_prepare)
+      +. (fbm *. (exec +. send ~size:szk.sz_reply_digest ~targets:1))
+    in
+    min (fbm /. max primary_k path_k) resource_cap
+  in
+  (* Unloaded latency: the batch-of-one critical path, client legs on the
+     latency rig's faster client machine. *)
+  let latency =
+    let c cost = cost /. latency_client_speed in
+    c (send_cpu cal ~size:sz1.sz_request ~targets:sz.sz_request_targets)
+    +. wire_lat cal ~size:sz1.sz_request
+    +. recv ~size:sz1.sz_request
+    +. send ~size:sz1.sz_pre_prepare ~targets:(n - 1)
+    +. wire_lat cal ~size:sz1.sz_pre_prepare
+    +. recv ~size:sz1.sz_pre_prepare
+    +. send ~size:sz1.sz_prepare ~targets:(n - 1)
+    +. wire_lat cal ~size:sz1.sz_prepare
+    +. (float_of_int (2 * f) *. recv ~size:sz1.sz_prepare)
+    +. exec
+    +. send ~size:sz1.sz_reply_digest ~targets:1
+    +. wire_lat cal ~size:sz1.sz_reply_full
+    +. c (float_of_int (2 * f) *. recv ~size:sz1.sz_reply_digest)
+    +. c (recv ~size:sz1.sz_reply_full)
+  in
+  let stalled = clients <= cfg.max_batch_requests in
+  let t_cycle = cycle ~stalled in
+  let throughput =
+    if clients <= 1 then min (1.0 /. latency) resource_cap
+    else min (fb /. t_cycle) resource_cap
+  in
+  {
+    pr_profile = cal.name;
+    pr_clients = clients;
+    pr_batch = b;
+    pr_ops_per_sec = throughput;
+    pr_knee_ops_per_sec = knee;
+    pr_binding = binding;
+    pr_latency = latency;
+    pr_primary_cpu = primary_cpu;
+    pr_backup_cpu = backup_cpu;
+    pr_client_cpu = client_cpu;
+    pr_primary_out_bytes = primary_out;
+    pr_primary_in_bytes = primary_in;
+    pr_backup_out_bytes = backup_out;
+    pr_backup_in_bytes = backup_in;
+  }
+
+(* Rotating ordering: all n replicas propose disjoint epochs concurrently,
+   so request ingestion and proposing spread n ways while prepare/commit
+   verification and (crucially) execution + replies stay per-request work
+   at every replica. Throughput is bound by the average per-replica CPU
+   per batch; epoch handoff (null fills, reclaims) is second-order at
+   saturation and not modeled. *)
+let predict_rotating ?(config = Config.make ~f:1 ())
+    ?(client_machines = default_client_machines) ?(exec_fixed = 0.0)
+    ~(cal : Calibration.t) ~arg ~res ~clients ~epoch_length:_ () =
+  let cfg = config in
+  let n = cfg.n in
+  let b = max 1 (min clients cfg.max_batch_requests) in
+  let sz = sizes ~cfg ~arg ~res ~batch:b in
+  let send = send_cpu cal and recv = recv_cpu cal in
+  let exec = exec_cpu cal ~exec_fixed ~arg ~res in
+  let fb = float_of_int b in
+  let fn = float_of_int n in
+  let ckpt_amort =
+    (send ~size:sz.sz_checkpoint ~targets:(n - 1)
+    +. (float_of_int (n - 1) *. recv ~size:sz.sz_checkpoint))
+    /. float_of_int cfg.checkpoint_interval
+  in
+  let commit_cpu =
+    send ~size:sz.sz_commit ~targets:(n - 1)
+    +. (float_of_int (n - 1) *. recv ~size:sz.sz_commit)
+  in
+  let reply_send = send ~size:sz.sz_reply_digest ~targets:1 in
+  (* Per batch: the proposer's share (1/n of batches) and a non-proposer's
+     share ((n-1)/n), averaged — every replica is both in rotation. *)
+  let proposer_cpu =
+    (fb *. recv ~size:sz.sz_request)
+    +. send ~size:sz.sz_pre_prepare ~targets:(n - 1)
+    +. (float_of_int (n - 1) *. recv ~size:sz.sz_prepare)
+  in
+  let nonproposer_cpu =
+    recv ~size:sz.sz_pre_prepare
+    +. send ~size:sz.sz_prepare ~targets:(n - 1)
+    +. (float_of_int (n - 2) *. recv ~size:sz.sz_prepare)
+  in
+  let avg_batch_cpu =
+    ((proposer_cpu +. (float_of_int (n - 1) *. nonproposer_cpu)) /. fn)
+    +. (fb *. (exec +. reply_send))
+    +. commit_cpu +. ckpt_amort
+  in
+  let client_req_cpu =
+    send ~size:sz.sz_request ~targets:sz.sz_request_targets
+    +. (fn *. recv ~size:sz.sz_reply_digest)
+  in
+  let cap x = if x > 0.0 then 1.0 /. x else infinity in
+  min (fb /. avg_batch_cpu)
+    (float_of_int client_machines *. cap client_req_cpu)
+
+(* --- predicted-vs-observed report over the golden bench surface ------- *)
+
+(* Minimal scanner for the fixed JSON the bench emits (hand-rolled there,
+   hand-parsed here: stable field order and formats, no nesting surprises
+   beyond per_group arrays). *)
+module Golden = struct
+  type point = { gp_clients : int; gp_ops_per_sec : float }
+  type micro = { gm_label : string; gm_arg : int; gm_res : int; gm_mean_us : float }
+  type scale = { gs_groups : int; gs_clients : int; gs_sim_rps : float }
+
+  type rotating = {
+    gr_clients : int;
+    gr_epoch_length : int;
+    gr_single_ops : float;
+    gr_ops : float;
+  }
+
+  type t = {
+    g_profile : string;
+    g_seed : int;
+    g_micro : micro list;
+    g_curve : point list;
+    g_scaling : scale list;
+    g_rotating : rotating option;
+  }
+
+  let fail fmt = Printf.ksprintf failwith fmt
+
+  (* Value of ["key":...] starting at the first occurrence of the key. *)
+  let raw_field s key =
+    let pat = "\"" ^ key ^ "\":" in
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length s then None
+      else if String.sub s i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let buf = Buffer.create 16 in
+      let len = String.length s in
+      let rec scan i depth in_str =
+        if i >= len then Buffer.contents buf
+        else
+          let c = s.[i] in
+          if in_str then begin
+            Buffer.add_char buf c;
+            scan (i + 1) depth (c <> '"')
+          end
+          else if c = '"' then begin
+            Buffer.add_char buf c;
+            scan (i + 1) depth true
+          end
+          else if c = '[' || c = '{' then begin
+            Buffer.add_char buf c;
+            scan (i + 1) (depth + 1) false
+          end
+          else if c = ']' || c = '}' then
+            if depth = 0 then Buffer.contents buf
+            else begin
+              Buffer.add_char buf c;
+              scan (i + 1) (depth - 1) false
+            end
+          else if c = ',' && depth = 0 then Buffer.contents buf
+          else begin
+            Buffer.add_char buf c;
+            scan (i + 1) depth false
+          end
+      in
+      Some (scan start 0 false)
+
+  let str_field s key =
+    match raw_field s key with
+    | Some v
+      when String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+      ->
+      String.sub v 1 (String.length v - 2)
+    | Some v -> fail "golden: field %S is not a string: %s" key v
+    | None -> fail "golden: missing field %S" key
+
+  let int_field s key =
+    match raw_field s key with
+    | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some i -> i
+      | None -> fail "golden: field %S is not an int: %s" key v)
+    | None -> fail "golden: missing field %S" key
+
+  let float_field s key =
+    match raw_field s key with
+    | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some f -> f
+      | None -> fail "golden: field %S is not a number: %s" key v)
+    | None -> fail "golden: missing field %S" key
+
+  (* Split a ["[{...},{...}]"] array value into its top-level objects. *)
+  let objects v =
+    let len = String.length v in
+    let out = ref [] in
+    let start = ref (-1) in
+    let depth = ref 0 in
+    let in_str = ref false in
+    for i = 0 to len - 1 do
+      let c = v.[i] in
+      if !in_str then (if c = '"' then in_str := false)
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' ->
+          if !depth = 0 then start := i;
+          incr depth
+        | '}' ->
+          decr depth;
+          if !depth = 0 && !start >= 0 then begin
+            out := String.sub v !start (i - !start + 1) :: !out;
+            start := -1
+          end
+        | _ -> ()
+    done;
+    List.rev !out
+
+  let array_field s key =
+    match raw_field s key with
+    | Some v -> objects v
+    | None -> fail "golden: missing section %S" key
+
+  let parse s =
+    let schema = str_field s "schema" in
+    if
+      schema <> "bft-lab/bench-virtual/v2" && schema <> "bft-lab/bench-micro/v2"
+    then fail "golden: unsupported schema %S" schema;
+    let g_profile = str_field s "cost_profile" in
+    let g_seed = int_field s "seed" in
+    let g_micro =
+      List.map
+        (fun o ->
+          {
+            gm_label = str_field o "label";
+            gm_arg = int_field o "arg";
+            gm_res = int_field o "res";
+            gm_mean_us = float_field o "mean_us";
+          })
+        (array_field s "micro")
+    in
+    let g_curve =
+      List.map
+        (fun o ->
+          {
+            gp_clients = int_field o "clients";
+            gp_ops_per_sec = float_field o "ops_per_sec";
+          })
+        (array_field s "saturation")
+    in
+    let g_scaling =
+      List.map
+        (fun o ->
+          {
+            gs_groups = int_field o "groups";
+            gs_clients = int_field o "clients";
+            gs_sim_rps = float_field o "sim_rps";
+          })
+        (array_field s "scaling")
+    in
+    let g_rotating =
+      match raw_field s "rotating" with
+      | None -> None
+      | Some o ->
+        Some
+          {
+            gr_clients = int_field o "clients";
+            gr_epoch_length = int_field o "epoch_length";
+            gr_single_ops = float_field o "single_ops_per_sec";
+            gr_ops = float_field o "ops_per_sec";
+          }
+    in
+    { g_profile; g_seed; g_micro; g_curve; g_scaling; g_rotating }
+end
+
+type row = {
+  rw_label : string;
+  rw_unit : string;
+  rw_observed : float;
+  rw_predicted : float;
+  rw_rel_err : float;  (** (predicted - observed) / observed *)
+  rw_binding : resource option;  (** throughput rows only *)
+}
+
+type report = {
+  rp_profile : string;
+  rp_tolerance : float;
+  rp_rows : row list;
+}
+
+let default_tolerance = 0.25
+
+(* The scaling rows run uniform-single-key KV Puts, not the null op: a
+   short encoded op, a small result, and the KV service's fixed
+   execute_cost. The sizes are approximations (a few bytes either way is
+   well under a microsecond of cost); the execute cost is the one
+   hard-coded in Bft_services.Kv_store. *)
+let kv_arg = 12
+let kv_res = 4
+let kv_exec_fixed = 1e-6
+
+let mk_row ~label ~unit_ ~observed ~predicted ~binding =
+  {
+    rw_label = label;
+    rw_unit = unit_;
+    rw_observed = observed;
+    rw_predicted = predicted;
+    rw_rel_err =
+      (if observed > 0.0 then (predicted -. observed) /. observed
+       else infinity);
+    rw_binding = binding;
+  }
+
+let report ?(config = Config.make ~f:1 ()) ?(tolerance = default_tolerance)
+    ~(cal : Calibration.t) ~(golden : Golden.t) () =
+  let micro_rows =
+    List.map
+      (fun (m : Golden.micro) ->
+        let p =
+          predict ~config ~cal ~arg:m.gm_arg ~res:m.gm_res ~clients:1 ()
+        in
+        mk_row
+          ~label:(Printf.sprintf "micro %s latency" m.gm_label)
+          ~unit_:"us" ~observed:m.gm_mean_us
+          ~predicted:(p.pr_latency *. 1e6)
+          ~binding:None)
+      golden.g_micro
+  in
+  let curve_rows =
+    List.map
+      (fun (pt : Golden.point) ->
+        let p =
+          predict ~config ~cal ~arg:0 ~res:0 ~clients:pt.gp_clients ()
+        in
+        mk_row
+          ~label:(Printf.sprintf "saturation %d clients" pt.gp_clients)
+          ~unit_:"ops/s" ~observed:pt.gp_ops_per_sec
+          ~predicted:p.pr_ops_per_sec
+          ~binding:(Some p.pr_binding))
+      golden.g_curve
+  in
+  let scaling_rows =
+    List.map
+      (fun (s : Golden.scale) ->
+        let per_group = s.gs_clients / max 1 s.gs_groups in
+        let p =
+          predict ~config ~cal ~arg:kv_arg ~res:kv_res
+            ~exec_fixed:kv_exec_fixed ~clients:per_group ()
+        in
+        mk_row
+          ~label:(Printf.sprintf "scaling %d groups" s.gs_groups)
+          ~unit_:"req/s" ~observed:s.gs_sim_rps
+          ~predicted:(float_of_int s.gs_groups *. p.pr_ops_per_sec)
+          ~binding:(Some p.pr_binding))
+      golden.g_scaling
+  in
+  let rotating_rows =
+    match golden.g_rotating with
+    | None -> []
+    | Some r ->
+      let single =
+        predict ~config ~cal ~arg:0 ~res:0 ~clients:r.gr_clients ()
+      in
+      let rot_cfg =
+        Config.make ~f:config.f
+          ~ordering:(Config.Rotating { epoch_length = r.gr_epoch_length })
+          ()
+      in
+      let rotating =
+        predict_rotating ~config:rot_cfg ~cal ~arg:0 ~res:0
+          ~clients:r.gr_clients ~epoch_length:r.gr_epoch_length ()
+      in
+      [
+        mk_row
+          ~label:(Printf.sprintf "single-primary ceiling %d clients" r.gr_clients)
+          ~unit_:"ops/s" ~observed:r.gr_single_ops
+          ~predicted:single.pr_ops_per_sec
+          ~binding:(Some single.pr_binding);
+        mk_row
+          ~label:
+            (Printf.sprintf "rotating L=%d %d clients" r.gr_epoch_length
+               r.gr_clients)
+          ~unit_:"ops/s" ~observed:r.gr_ops ~predicted:rotating
+          ~binding:(Some Backup_cpu);
+      ]
+  in
+  {
+    rp_profile = cal.name;
+    rp_tolerance = tolerance;
+    rp_rows = micro_rows @ curve_rows @ scaling_rows @ rotating_rows;
+  }
+
+let row_ok t r = Float.abs r.rw_rel_err <= t.rp_tolerance
+
+let report_ok t = List.for_all (row_ok t) t.rp_rows
+
+(* Deterministic rendering: pure arithmetic in, fixed formats out. *)
+let render t =
+  let buf = Buffer.create 1024 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "analytic model vs observed (cost profile %s, tolerance %.0f%%):\n"
+    t.rp_profile (t.rp_tolerance *. 100.0);
+  Printf.ksprintf (Buffer.add_string buf) "  %-34s %12s %12s %7s  %-11s %s\n"
+    "row" "observed" "predicted" "err" "binds" "";
+  List.iter
+    (fun r ->
+      Printf.ksprintf (Buffer.add_string buf)
+        "  %-34s %9.1f %s %9.1f %s %+6.1f%%  %-11s %s\n" r.rw_label
+        r.rw_observed r.rw_unit r.rw_predicted r.rw_unit
+        (r.rw_rel_err *. 100.0)
+        (match r.rw_binding with
+        | Some b -> resource_name b
+        | None -> "-")
+        (if row_ok t r then "" else "OUT OF BAND"))
+    t.rp_rows;
+  let worst =
+    List.fold_left (fun acc r -> max acc (Float.abs r.rw_rel_err)) 0.0 t.rp_rows
+  in
+  Printf.ksprintf (Buffer.add_string buf) "  worst |err| %.1f%%: %s\n"
+    (worst *. 100.0)
+    (if report_ok t then "within tolerance" else "TOLERANCE EXCEEDED");
+  Buffer.contents buf
+
+(* Profile summary: the per-request budget table for one shape, the
+   explanation layer over the report. *)
+let summary ?(config = Config.make ~f:1 ()) ~(cal : Calibration.t) ~arg ~res
+    () =
+  let p =
+    predict ~config ~cal ~arg ~res ~clients:(4 * config.max_batch_requests) ()
+  in
+  let buf = Buffer.create 512 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "profile %s, %d/%d op at batch %d:\n" cal.name arg res p.pr_batch;
+  Printf.ksprintf (Buffer.add_string buf)
+    "  per-request CPU: primary %.1f us, backup %.1f us, client %.1f us\n"
+    (p.pr_primary_cpu *. 1e6) (p.pr_backup_cpu *. 1e6)
+    (p.pr_client_cpu *. 1e6);
+  Printf.ksprintf (Buffer.add_string buf)
+    "  per-request wire: primary out/in %.0f/%.0f B, backup out/in %.0f/%.0f B\n"
+    p.pr_primary_out_bytes p.pr_primary_in_bytes p.pr_backup_out_bytes
+    p.pr_backup_in_bytes;
+  Printf.ksprintf (Buffer.add_string buf)
+    "  unloaded latency %.1f us; saturation knee %.0f ops/s, bound by %s\n"
+    (p.pr_latency *. 1e6) p.pr_knee_ops_per_sec
+    (resource_name p.pr_binding);
+  Buffer.contents buf

@@ -52,6 +52,7 @@ type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
 type t = {
   seed : int;
   quick : bool;
+  cost_profile : string;  (** Calibration profile every rig ran under. *)
   micro : micro list;
   curve : point list;
   scaling : scale_point list;
@@ -81,7 +82,8 @@ let scaling_clients_per_group ~quick = if quick then 12 else 16
 let rotating_clients = 256
 let rotating_epoch_length = 4
 
-let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
+let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false)
+    ?(cal = Bft_sim.Calibration.default) () =
   if max_groups < 1 then invalid_arg "Saturation.run: max_groups must be positive";
   let ops = if quick then 60 else 200 in
   (* With [health] every rig runs under an attached monitor; since
@@ -108,7 +110,7 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
       (fun (label, arg, res) ->
         let t0 = Unix.gettimeofday () in
         let r =
-          Microbench.bft_latency ~ops ~seed
+          Microbench.bft_latency ~ops ~seed ~cal
             ?monitor:(fresh_monitor ("micro " ^ label))
             ~arg ~res ~read_only:false ()
         in
@@ -129,7 +131,7 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
       (fun clients ->
         let t0 = Unix.gettimeofday () in
         let r =
-          Microbench.bft_throughput ~seed ~window
+          Microbench.bft_throughput ~seed ~window ~cal
             ?monitor:(fresh_monitor (Printf.sprintf "curve %d clients" clients))
             ~arg:0 ~res:0 ~read_only:false ~clients ()
         in
@@ -160,7 +162,7 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
       (fun groups ->
         let t0 = Unix.gettimeofday () in
         let r =
-          Microbench.sharded_throughput ~seed ~window ~health ~groups
+          Microbench.sharded_throughput ~seed ~window ~cal ~health ~groups
             ~clients_per_group:per_group ()
         in
         if health then begin
@@ -193,7 +195,7 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
     let t0 = Unix.gettimeofday () in
     let throughput config label =
       let r =
-        Microbench.bft_throughput ~config ~seed ~window
+        Microbench.bft_throughput ~config ~seed ~window ~cal
           ?monitor:(fresh_monitor label) ~arg:0 ~res:0 ~read_only:false
           ~clients:rotating_clients ()
       in
@@ -228,7 +230,8 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false) () =
   (* Health rows are thunks so each summary reflects the monitor's final
      state (registration order = run order). *)
   let health = List.rev_map (fun (_, row) -> row ()) !health_rows in
-  { seed; quick; micro; curve; scaling; rotating; health }
+  let cost_profile = Bft_sim.Calibration.name cal in
+  { seed; quick; cost_profile; micro; curve; scaling; rotating; health }
 
 let health_alerts t =
   List.fold_left (fun acc h -> acc + h.hl_alerts) 0 t.health
@@ -276,24 +279,28 @@ let rotating_speedup t = t.rotating.ro_speedup
    the virtual part is compared byte-for-byte against a golden file. *)
 let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
 
-let micro_virtual_fields buf m =
+let micro_virtual_fields profile buf m =
+  buf_addf buf "\"cost_profile\":%S," profile;
   buf_addf buf
     "\"label\":%S,\"arg\":%d,\"res\":%d,\"mean_us\":%.3f,\"stddev_us\":%.3f,\"ops\":%d"
     m.mi_label m.mi_arg m.mi_res m.mi_mean_us m.mi_stddev_us m.mi_ops
 
-let point_virtual_fields buf p =
+let point_virtual_fields profile buf p =
+  buf_addf buf "\"cost_profile\":%S," profile;
   buf_addf buf
     "\"clients\":%d,\"ops_per_sec\":%.1f,\"completed\":%d,\"retransmissions\":%d"
     p.pt_clients p.pt_ops_per_sec p.pt_completed p.pt_retransmissions
 
-let scale_virtual_fields buf s =
+let scale_virtual_fields profile buf s =
+  buf_addf buf "\"cost_profile\":%S," profile;
   buf_addf buf
     "\"groups\":%d,\"clients\":%d,\"sim_rps\":%.1f,\"completed\":%d,\"retransmissions\":%d,\"per_group\":[%s]"
     s.sc_groups s.sc_clients s.sc_sim_rps s.sc_completed s.sc_retransmissions
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.sc_per_group)))
 
-let rotating_virtual_fields buf r =
+let rotating_virtual_fields profile buf r =
+  buf_addf buf "\"cost_profile\":%S," profile;
   buf_addf buf
     "\"clients\":%d,\"epoch_length\":%d,\"single_ops_per_sec\":%.1f,\"ops_per_sec\":%.1f,\"completed\":%d,\"retransmissions\":%d,\"speedup\":%.2f"
     r.ro_clients r.ro_epoch_length r.ro_single_ops_per_sec r.ro_ops_per_sec
@@ -312,30 +319,32 @@ let json_list buf items emit =
 
 let virtual_json t =
   let buf = Buffer.create 1024 in
-  buf_addf buf "{\"schema\":\"bft-lab/bench-virtual/v1\",\"seed\":%d,\"quick\":%b,"
-    t.seed t.quick;
+  buf_addf buf
+    "{\"schema\":\"bft-lab/bench-virtual/v2\",\"seed\":%d,\"quick\":%b,\"cost_profile\":%S,"
+    t.seed t.quick t.cost_profile;
   Buffer.add_string buf "\"micro\":";
-  json_list buf t.micro micro_virtual_fields;
+  json_list buf t.micro (micro_virtual_fields t.cost_profile);
   Buffer.add_string buf ",\"saturation\":";
-  json_list buf t.curve point_virtual_fields;
+  json_list buf t.curve (point_virtual_fields t.cost_profile);
   Buffer.add_string buf ",\"scaling\":";
-  json_list buf t.scaling scale_virtual_fields;
+  json_list buf t.scaling (scale_virtual_fields t.cost_profile);
   Buffer.add_string buf ",\"rotating\":{";
-  rotating_virtual_fields buf t.rotating;
+  rotating_virtual_fields t.cost_profile buf t.rotating;
   Buffer.add_string buf "}}\n";
   Buffer.contents buf
 
 let to_json t =
   let buf = Buffer.create 2048 in
-  buf_addf buf "{\"schema\":\"bft-lab/bench-micro/v1\",\"seed\":%d,\"quick\":%b,"
-    t.seed t.quick;
+  buf_addf buf
+    "{\"schema\":\"bft-lab/bench-micro/v2\",\"seed\":%d,\"quick\":%b,\"cost_profile\":%S,"
+    t.seed t.quick t.cost_profile;
   Buffer.add_string buf "\"micro\":";
   json_list buf t.micro (fun buf m ->
-      micro_virtual_fields buf m;
+      micro_virtual_fields t.cost_profile buf m;
       buf_addf buf ",\"wall_s\":%.3f" m.mi_wall_s);
   Buffer.add_string buf ",\"saturation\":";
   json_list buf t.curve (fun buf p ->
-      point_virtual_fields buf p;
+      point_virtual_fields t.cost_profile buf p;
       buf_addf buf ",\"wall_s\":%.3f,\"sim_rps\":%.0f" p.pt_wall_s p.pt_sim_rps);
   (match peak t with
   | Some p ->
@@ -344,13 +353,13 @@ let to_json t =
   | None -> ());
   Buffer.add_string buf ",\"scaling\":";
   json_list buf t.scaling (fun buf s ->
-      scale_virtual_fields buf s;
+      scale_virtual_fields t.cost_profile buf s;
       buf_addf buf ",\"wall_s\":%.3f" s.sc_wall_s);
   let speedup = scaling_speedup t ~groups:2 in
   if not (Float.is_nan speedup) then
     buf_addf buf ",\"scaling_speedup_2g\":%.2f" speedup;
   Buffer.add_string buf ",\"rotating\":{";
-  rotating_virtual_fields buf t.rotating;
+  rotating_virtual_fields t.cost_profile buf t.rotating;
   buf_addf buf ",\"wall_s\":%.3f}" t.rotating.ro_wall_s;
   buf_addf buf ",\"rotating_sim_rps\":%.0f,\"rotating_speedup\":%.2f"
     (rotating_sim_rps t) (rotating_speedup t);
@@ -358,8 +367,9 @@ let to_json t =
   Buffer.contents buf
 
 let print t =
-  Printf.printf "micro-ops (seed %d%s):\n" t.seed
-    (if t.quick then ", quick" else "");
+  Printf.printf "micro-ops (seed %d%s, cost profile %s):\n" t.seed
+    (if t.quick then ", quick" else "")
+    t.cost_profile;
   List.iter
     (fun m ->
       Printf.printf "  %-4s %8.1f us (+/- %.1f, %d ops)  [%.2fs wall]\n"

@@ -65,6 +65,9 @@ type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
 type t = {
   seed : int;
   quick : bool;
+  cost_profile : string;
+      (** name of the {!Bft_sim.Calibration} profile the suite ran under —
+          stamped on every JSON row *)
   micro : micro list;
   curve : point list;
   scaling : scale_point list;
@@ -72,12 +75,21 @@ type t = {
   health : health_row list;  (** empty unless [run ~health:true] *)
 }
 
-val run : ?quick:bool -> ?seed:int -> ?max_groups:int -> ?health:bool -> unit -> t
+val run :
+  ?quick:bool ->
+  ?seed:int ->
+  ?max_groups:int ->
+  ?health:bool ->
+  ?cal:Bft_sim.Calibration.t ->
+  unit ->
+  t
 (** [max_groups] bounds the scaling sweep: group counts double from 1 up
     to it (default 4, i.e. 1/2/4 groups). With [health] (default false)
     every rig runs under an always-on monitor and [t.health] carries one
     summary row per bench; observation is pure, so {!virtual_json} is
-    byte-identical with and without it — CI asserts exactly that. *)
+    byte-identical with and without it — CI asserts exactly that. [cal]
+    selects the cost profile (default [testbed-2001]); the golden surface
+    is only meaningful under the default profile. *)
 
 val health_alerts : t -> int
 (** Total alerts across all health rows (0 for a healthy suite). *)

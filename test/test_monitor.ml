@@ -72,7 +72,7 @@ let sketch_deterministic_prop =
 
 let rg ?(reachable = true) ?(view = 0) ?(exec = 0) ?(committed = 0)
     ?(stable = 0) ?(digest = "d0") ?(queue = 0) ?(backlog = 0) ?(log = 0)
-    ?(replay = 0) ?(shed = 0) ?owner id =
+    ?(replay = 0) ?(shed = 0) ?(null_fill = 0) ?(reclaim = 0) ?owner id =
   {
     Monitor.r_id = id;
     r_reachable = reachable;
@@ -86,6 +86,8 @@ let rg ?(reachable = true) ?(view = 0) ?(exec = 0) ?(committed = 0)
     r_log_depth = log;
     r_replay_dropped = replay;
     r_shed = shed;
+    r_null_fill = null_fill;
+    r_reclaim = reclaim;
     r_ordering_owner = (match owner with Some o -> o | None -> view mod 4);
   }
 
