@@ -663,6 +663,87 @@ let chaos_cmd =
       const run $ seed $ campaigns $ plan_file $ horizon $ shrunk_out $ unsafe
       $ health $ rotating $ trace_out $ trace_cap_arg)
 
+let txn_cmd =
+  let doc =
+    "Cross-shard transaction chaos: two-phase-commit coordinators and \
+     single-key writers over a sharded deployment, optionally with a live \
+     reshard and targeted crashes, audited against the txn.atomic and \
+     reshard.no_lost_keys invariants. Emits one JSON line; exits non-zero \
+     on any violation (inverted by --expect-violation)."
+  in
+  let module Sc = Bft_chaos.Shard_campaign in
+  let scenario =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("healthy", Sc.Healthy);
+               ("coordinator-crash", Sc.Coordinator_crash);
+               ("mid-migration", Sc.Replica_mid_migration);
+             ])
+          Sc.Healthy
+      & info [ "scenario" ]
+          ~doc:
+            "One of $(b,healthy) (live reshard under clean traffic), \
+             $(b,coordinator-crash) (a coordinator dies between PREPARE \
+             and COMMIT), $(b,mid-migration) (a donor-group replica \
+             crashes during the reshard).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let no_recovery =
+    Arg.(
+      value & flag
+      & info [ "no-recovery" ]
+          ~doc:
+            "Disable client-driven lock recovery: a dead coordinator's \
+             locks linger, which the txn.atomic audit must catch.")
+  in
+  let expect_violation =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Self-test: exit zero only if the audits DO flag a violation \
+             (pair with --no-recovery and --scenario coordinator-crash to \
+             prove the checker catches a wedged transaction).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Also append the JSON line to $(docv)."
+          ~docv:"FILE")
+  in
+  let run scenario seed no_recovery expect_violation json_out =
+    let o = Sc.run ~scenario ~recovery:(not no_recovery) ~seed () in
+    let line = Sc.jsonl o in
+    print_endline line;
+    (match json_out with
+    | Some file ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file
+      in
+      output_string oc (line ^ "\n");
+      close_out oc
+    | None -> ());
+    List.iter
+      (fun v -> Printf.eprintf "  %s: %s\n" v.Sc.invariant v.Sc.detail)
+      o.Sc.violations;
+    if expect_violation then begin
+      if not (Sc.failed o) then begin
+        Printf.eprintf
+          "bft_lab txn: expected an invariant violation but the audits \
+           passed\n";
+        exit 1
+      end
+    end
+    else if Sc.failed o then exit 1
+  in
+  Cmd.v (Cmd.info "txn" ~doc)
+    Term.(
+      const run $ scenario $ seed $ no_recovery $ expect_violation $ json_out)
+
 let bench_cmd =
   let doc =
     "Saturation bench suite: 0/0, 4/0, 0/4 micro-ops and the batched \
@@ -1179,6 +1260,7 @@ let cmds =
     andrew_cmd;
     postmark_cmd;
     chaos_cmd;
+    txn_cmd;
     all_cmd;
   ]
 

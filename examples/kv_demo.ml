@@ -28,6 +28,7 @@ let () =
       | Kv.Stored -> "stored"
       | Kv.Cas_result ok -> Printf.sprintf "cas %b" ok
       | Kv.Error e -> "error: " ^ e
+      | Kv.Prepared _ | Kv.Bindings _ | Kv.Txn_state _ -> "unexpected"
     in
     Printf.printf "%-34s -> %s\n" label text
   in

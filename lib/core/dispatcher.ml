@@ -15,10 +15,20 @@ let install net node =
       | exception Bft_util.Codec.Decode_error _ ->
         t.malformed_count <- t.malformed_count + 1
       | env, prefix_len ->
+        (* Client-addressed messages route by the client id they name:
+           REPLY and BUSY both terminate at a client process. Routing BUSY
+           to the default principal (as this code once did) silently
+           dropped every shed notification on a shared client machine —
+           the client kept retransmitting instead of learning its request
+           was rejected. *)
         let sink =
           match env.Message.msg with
           | Message.Reply r -> (
             match Hashtbl.find_opt t.clients r.Message.client with
+            | Some sink -> Some sink
+            | None -> t.default)
+          | Message.Busy b -> (
+            match Hashtbl.find_opt t.clients b.Message.bz_client with
             | Some sink -> Some sink
             | None -> t.default)
           | _ -> t.default

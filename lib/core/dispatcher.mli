@@ -3,10 +3,11 @@
     A simulated machine hosts one or more principals (a replica, or several
     client processes, as in the paper's five client machines running up to
     200 client processes). The dispatcher decodes each incoming datagram
-    and routes it: REPLY messages go to the client process they name,
-    everything else goes to the machine's default principal (its replica or
-    server). Malformed datagrams are counted and dropped, as a real server
-    would drop garbage UDP packets. *)
+    and routes it: client-addressed messages (REPLY, and the admission
+    layer's BUSY) go to the client process they name, everything else goes
+    to the machine's default principal (its replica or server). Malformed
+    datagrams are counted and dropped, as a real server would drop garbage
+    UDP packets. *)
 
 type sink = wire:string -> prefix_len:int -> size:int -> Message.envelope -> unit
 

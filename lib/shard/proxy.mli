@@ -1,11 +1,17 @@
 (** Shard-aware client: one logical KV client over a sharded deployment.
 
-    A proxy owns one BFT client process in every group of a {!Rig} and
-    routes each single-key operation to the group that owns the key
-    ({!Router.group_of_key}), so callers keep the familiar closed-loop
-    client shape — invoke, wait for the callback, invoke again — without
-    knowing the deployment is sharded. Per-group start/completion tallies
-    are kept so benchmarks can report how evenly the keyspace load spread.
+    A proxy owns one BFT client process in every built group of a {!Rig}
+    (including spare groups not yet routed to) and routes each single-key
+    operation to the group that owns the key ({!Router.group_of_key}), so
+    callers keep the familiar closed-loop client shape — invoke, wait for
+    the callback, invoke again — without knowing the deployment is sharded.
+    Per-group start/completion tallies are kept so benchmarks can report
+    how evenly the keyspace load spread.
+
+    Routing re-reads the rig's live router on every dispatch, and mutating
+    operations fence on the rig's slot gates: an operation aimed at a slot
+    that is mid-migration parks until the flip completes and then re-routes
+    to the new owner. Reads bypass the fence.
 
     Like the underlying {!Bft_core.Client}, a proxy drives one operation
     at a time; create one proxy per simulated end user. *)
@@ -19,12 +25,13 @@ type outcome = {
 }
 
 val create : ?retry_budget:int -> Rig.t -> t
-(** Adds one client process to every group of the rig (placed on that
+(** Adds one client process to every built group of the rig (placed on that
     group's client machines round-robin, as {!Bft_core.Cluster.add_client}
     does). [retry_budget] (default 2) bounds how many times the proxy
     re-invokes an operation that the owning group's admission control
     explicitly rejected, each re-invoke after a jittered exponential
-    backoff. *)
+    backoff. Each proxy draws jitter from its own RNG stream, labelled by
+    a per-rig ordinal, so proxies never back off in lockstep. *)
 
 val invoke : t -> Bft_services.Kv_store.op -> (outcome -> unit) -> unit
 (** Route the operation to the owning group and start it; the callback
@@ -33,12 +40,20 @@ val invoke : t -> Bft_services.Kv_store.op -> (outcome -> unit) -> unit
     budget completes with [result = Error "busy"] (and [raw.rejected]
     set) — graceful degradation, never silent loss. Raises
     [Invalid_argument] if an operation is already outstanding on this
-    proxy. *)
+    proxy, or for transaction/migration operations (those go through
+    {!Txn} and {!Reshard}). *)
 
 val group_of_op : t -> Bft_services.Kv_store.op -> int
-(** Where {!invoke} would send this operation. *)
+(** Where {!invoke} would send this operation (under the current router). *)
 
 val busy : t -> bool
+
+val ordinal : t -> int
+(** The per-rig ordinal labelling this proxy's backoff RNG stream. *)
+
+val next_backoff : t -> attempt:int -> float
+(** Draw the next jittered backoff from the proxy's live RNG stream (test
+    hook: consumes from the same stream {!invoke} uses). *)
 
 val started : t -> int array
 (** Per-group count of operations started through this proxy. *)
@@ -51,10 +66,17 @@ val retransmissions : t -> int
 (** Total client-side retransmissions, summed over the per-group clients. *)
 
 val sheds : t -> int array
-(** Per-group count of invocations that came back explicitly rejected by
-    admission control (before proxy-level retries resolved them). *)
+(** Per-group count of {e operations} that exhausted the proxy's retry
+    budget and completed as [Error "busy"] — comparable to the clients'
+    own [ops.rejected] tallies. *)
+
+val shed_attempts : t -> int array
+(** Per-group count of rejected {e attempts}, including ones a later retry
+    resolved; always ≥ {!sheds}. *)
 
 val shed_retries : t -> int array
 (** Per-group count of proxy-level re-invokes spent on rejections. *)
 
 val total_sheds : t -> int
+
+val total_shed_attempts : t -> int

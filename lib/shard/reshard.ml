@@ -1,0 +1,122 @@
+module Client = Bft_core.Client
+module Cluster = Bft_core.Cluster
+module Engine = Bft_sim.Engine
+module Kv = Bft_services.Kv_store
+
+(* Live resharding: grow the routed group count of a rig without stopping
+   client traffic.
+
+   The plan comes from {!Router.extend} — the same deterministic slot-steal
+   computation the static path uses — and is then executed one slot at a
+   time:
+
+     fence the slot (new mutating arrivals park)
+       → wait for in-flight mutations on the slot to drain
+       → Snapshot_slot at the donor group (replicated read of the slot's
+         bindings; refused while any key of the slot holds a transaction
+         lock, in which case we back off and retry — the lock holder
+         either finishes or is recovered by its blocked peers)
+       → Install at the target group
+       → flip the router for that one slot
+       → unfence (parked operations re-route to the new owner)
+       → Drop_slot at the donor (retire its copy)
+
+   The snapshot/install/flip order is what makes [reshard.no_lost_keys]
+   hold: once the snapshot succeeds, the fence plus the lock refusal
+   guarantee no mutation lands at the donor before the flip, so the
+   installed copy is complete. Dropping the donor's copy after the flip is
+   pure garbage collection. Replica crashes during migration are the
+   groups' problem, not ours: every step is an ordinary replicated
+   operation, so a group that loses a replica just keeps serving. *)
+
+type progress = { moved_slots : int; moved_keys : int }
+
+type driver = {
+  rig : Rig.t;
+  engine : Engine.t;
+  clients : Client.t array;  (* dedicated, one per built group *)
+  mutable moved_slots : int;
+  mutable moved_keys : int;
+}
+
+(* Migration steps must get through regardless of admission pressure. *)
+let rec step_invoke d g op callback =
+  Client.invoke d.clients.(g) ~read_only:false (Kv.op_payload op) (fun raw ->
+      if raw.Client.rejected then
+        Engine.schedule d.engine
+          ~delay:(Rig.config d.rig).Bft_core.Config.client_retry_timeout
+          (fun () -> step_invoke d g op callback)
+      else callback (Kv.result_of_payload raw.Client.result))
+
+let drain_poll_interval = 1e-3
+
+let snapshot_retry_delay = 5e-3
+
+let extend rig ~groups callback =
+  let router = Rig.router rig in
+  if groups > Rig.group_capacity rig then
+    invalid_arg "Reshard.extend: rig has no spare groups built";
+  let target = Router.extend router ~groups in
+  let old_mapping = Router.mapping router in
+  let new_mapping = Router.mapping target in
+  let moving =
+    (* slot, donor, taker — in slot order, migrated sequentially *)
+    List.filter_map
+      (fun s ->
+        if old_mapping.(s) <> new_mapping.(s) then
+          Some (s, old_mapping.(s), new_mapping.(s))
+        else None)
+      (List.init (Array.length old_mapping) Fun.id)
+  in
+  let d =
+    {
+      rig;
+      engine = Rig.engine rig;
+      clients =
+        Array.init (Rig.group_capacity rig) (fun g ->
+            Cluster.add_client (Rig.cluster rig g));
+      moved_slots = 0;
+      moved_keys = 0;
+    }
+  in
+  let slots = Array.length old_mapping in
+  let rec migrate = function
+    | [] -> callback { moved_slots = d.moved_slots; moved_keys = d.moved_keys }
+    | (slot, donor, taker) :: rest ->
+      Rig.begin_slot_migration rig slot;
+      let rec await_drain () =
+        if Rig.slot_inflight rig slot > 0 then
+          Engine.schedule d.engine ~delay:drain_poll_interval await_drain
+        else snapshot ()
+      and snapshot () =
+        step_invoke d donor (Kv.Snapshot_slot { slot; slots }) (function
+          | Kv.Bindings bindings -> install bindings
+          | _ ->
+            (* Locked (an in-doubt transaction holds a key of this slot):
+               wait for it to resolve — its coordinator finishes, times
+               out, or a blocked client recovers it — and try again. *)
+            Engine.schedule d.engine ~delay:snapshot_retry_delay snapshot)
+      and install bindings =
+        step_invoke d taker (Kv.Install { slot; slots; bindings }) (fun _ ->
+            flip (List.length bindings))
+      and flip moved =
+        (* Single-slot router flip: the already-migrated slots (and this
+           one) point at their new owners, the rest stay put. *)
+        let mapping = Router.mapping (Rig.router rig) in
+        mapping.(slot) <- taker;
+        Rig.set_router rig (Router.of_mapping ~groups ~mapping);
+        d.moved_slots <- d.moved_slots + 1;
+        d.moved_keys <- d.moved_keys + moved;
+        Rig.end_slot_migration rig slot;
+        step_invoke d donor (Kv.Drop_slot { slot; slots }) (fun _ ->
+            migrate rest)
+      in
+      await_drain ()
+  in
+  match moving with
+  | [] ->
+    (* Nothing moves (e.g. groups unchanged), but the router must still
+       advertise the new group count. *)
+    Rig.set_router rig (Router.of_mapping ~groups ~mapping:new_mapping);
+    callback { moved_slots = 0; moved_keys = 0 }
+  | moving -> migrate moving

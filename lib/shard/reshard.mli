@@ -1,0 +1,21 @@
+(** Live resharding: execute a {!Router.extend} plan against a running
+    {!Rig} while clients keep issuing requests.
+
+    Slots migrate one at a time: fence the slot (proxies and transactions
+    park), drain in-flight mutations, snapshot the donor's copy (a
+    replicated read that the donor refuses while any key of the slot holds
+    a transaction lock), install it at the new owner, flip the router for
+    that slot, release parked traffic to the new owner, then retire the
+    donor's copy. The resulting mapping is exactly the one the static
+    {!Router.extend} computes. *)
+
+type progress = {
+  moved_slots : int;
+  moved_keys : int;  (** bindings copied donor → taker *)
+}
+
+val extend : Rig.t -> groups:int -> (progress -> unit) -> unit
+(** Grow the rig's routed group count to [groups] (which must not exceed
+    {!Rig.group_capacity}); the callback fires once, after the last slot
+    has flipped and the donors' copies are dropped. Adds one dedicated
+    migration client per built group. *)

@@ -8,12 +8,24 @@ module Monitor = Bft_trace.Monitor
 module Rng = Bft_util.Rng
 module Stats = Bft_util.Stats
 
+(* Per-slot migration gate. Mutating key-addressed traffic for a slot is
+   counted in [inflight] while a proxy works on it; a migration first raises
+   [migrating] (new arrivals park in [held]) and then waits for [inflight]
+   to drain before snapshotting the donor. *)
+type slot_gate = {
+  mutable migrating : bool;
+  mutable inflight : int;
+  held : (unit -> unit) Queue.t;
+}
+
 type t = {
   engine : Engine.t;
   network : Network.t;
   config : Config.t;
-  router : Router.t;
-  groups : Cluster.t array;
+  mutable router : Router.t;
+  groups : Cluster.t array;  (* full capacity; router may use a prefix *)
+  gates : slot_gate array;
+  mutable proxy_ordinals : int;
   root_rng : Rng.t;
 }
 
@@ -24,14 +36,17 @@ let principal_stride = 1 lsl 12
 
 let create ?(cal = Calibration.default) ?(seed = 42) ?client_machines
     ?client_machine_speed ?recv_buffer ?(trace = Bft_trace.Trace.nil) ?slots
-    ~groups ~config ~service () =
+    ?initial_groups ~groups ~config ~service () =
   if groups < 1 then invalid_arg "Rig.create: groups must be positive";
+  let initial = Option.value initial_groups ~default:groups in
+  if initial < 1 || initial > groups then
+    invalid_arg "Rig.create: initial_groups must be in [1, groups]";
   let root_rng = Rng.of_int seed in
   let engine = Engine.create () in
   Engine.set_trace engine trace;
   let network = Network.create engine cal ~rng:(Rng.split root_rng "network") in
   Network.set_trace network trace;
-  let router = Router.create ?slots ~groups () in
+  let router = Router.create ?slots ~groups:initial () in
   let n = config.Config.n in
   let clusters =
     Array.init groups (fun g ->
@@ -46,7 +61,18 @@ let create ?(cal = Calibration.default) ?(seed = 42) ?client_machines
           ~service:(fun r -> service ~group:g r)
           ())
   in
-  { engine; network; config; router; groups = clusters; root_rng }
+  {
+    engine;
+    network;
+    config;
+    router;
+    groups = clusters;
+    gates =
+      Array.init (Router.slots router) (fun _ ->
+          { migrating = false; inflight = 0; held = Queue.create () });
+    proxy_ordinals = 0;
+    root_rng;
+  }
 
 let engine t = t.engine
 
@@ -54,9 +80,58 @@ let network t = t.network
 
 let router t = t.router
 
+let set_router t router =
+  if Router.slots router <> Array.length t.gates then
+    invalid_arg "Rig.set_router: slot count must not change";
+  if Router.groups router > Array.length t.groups then
+    invalid_arg "Rig.set_router: more groups than the rig has clusters";
+  t.router <- router
+
 let config t = t.config
 
-let group_count t = Array.length t.groups
+let group_count t = Router.groups t.router
+
+let group_capacity t = Array.length t.groups
+
+let alloc_proxy_ordinal t =
+  let o = t.proxy_ordinals in
+  t.proxy_ordinals <- o + 1;
+  o
+
+(* --- slot gating ------------------------------------------------------ *)
+
+let slot_migrating t slot = t.gates.(slot).migrating
+
+let slot_inflight t slot = t.gates.(slot).inflight
+
+let acquire_slot t slot =
+  let g = t.gates.(slot) in
+  g.inflight <- g.inflight + 1
+
+let release_slot t slot =
+  let g = t.gates.(slot) in
+  if g.inflight <= 0 then invalid_arg "Rig.release_slot: not held";
+  g.inflight <- g.inflight - 1
+
+let hold_slot t ~slot k = Queue.add k t.gates.(slot).held
+
+let begin_slot_migration t slot =
+  let g = t.gates.(slot) in
+  if g.migrating then invalid_arg "Rig.begin_slot_migration: already migrating";
+  g.migrating <- true
+
+let end_slot_migration t slot =
+  let g = t.gates.(slot) in
+  if not g.migrating then invalid_arg "Rig.end_slot_migration: not migrating";
+  g.migrating <- false;
+  (* Drain to a list first: a released continuation re-enters routing from
+     scratch and may legitimately re-park itself (back onto [held]) if a
+     later migration of the same slot has already begun. *)
+  let released = ref [] in
+  while not (Queue.is_empty g.held) do
+    released := Queue.pop g.held :: !released
+  done;
+  List.iter (fun k -> k ()) (List.rev !released)
 
 let cluster t g = t.groups.(g)
 

@@ -23,6 +23,7 @@ val create :
   ?recv_buffer:float ->
   ?trace:Bft_trace.Trace.t ->
   ?slots:int ->
+  ?initial_groups:int ->
   groups:int ->
   config:Bft_core.Config.t ->
   service:(group:int -> Bft_core.Types.replica_id -> Bft_core.Service.t) ->
@@ -34,20 +35,68 @@ val create :
     group. [service] is called once per (group, replica) — each replica
     needs its own instance. Group [g]'s machines are named ["g<g>/…"], its
     seed is derived from [seed] by RNG splitting, and its client principals
-    start at [n + g * 4096] so request ids stay unique across groups. *)
+    start at [n + g * 4096] so request ids stay unique across groups.
+
+    [initial_groups] (default [groups]) starts the router over only the
+    first [initial_groups] groups; the rest are built and running but own
+    no slots until a live reshard ({!Reshard.extend}) hands them some.
+    Cluster construction does not depend on [initial_groups], so adding
+    spare capacity never perturbs the groups already serving. *)
 
 val engine : t -> Bft_sim.Engine.t
 
 val network : t -> Bft_net.Network.t
 
 val router : t -> Router.t
+(** The live routing table. Mutable: a reshard swaps it via {!set_router},
+    so routing decisions must re-read it per dispatch, not cache it. *)
+
+val set_router : t -> Router.t -> unit
+(** Flip the routing table (reshard driver only). The slot count must not
+    change and the group count must fit the rig's built clusters. *)
 
 val config : t -> Bft_core.Config.t
 
 val group_count : t -> int
+(** Groups the live router routes to. *)
+
+val group_capacity : t -> int
+(** Groups the rig has built (≥ {!group_count}); the surplus are reshard
+    targets. *)
+
+val alloc_proxy_ordinal : t -> int
+(** Next proxy ordinal (0, 1, …): a stable per-rig identity used to label
+    each proxy's backoff RNG stream. *)
 
 val cluster : t -> int -> Bft_core.Cluster.t
 (** The [g]-th replica group. *)
+
+(** {2 Slot gating}
+
+    During a live reshard the migrating slot is fenced: proxies count
+    themselves in and out of slots they are mutating, and park behind a
+    migrating slot until the flip completes. Only key-addressed mutating
+    traffic participates — reads and transaction-resolution operations
+    (Commit / Abort / Txn_status) bypass the gate, which is safe because
+    the donor refuses to snapshot a slot holding locks. *)
+
+val slot_migrating : t -> int -> bool
+
+val slot_inflight : t -> int -> int
+
+val acquire_slot : t -> int -> unit
+
+val release_slot : t -> int -> unit
+
+val hold_slot : t -> slot:int -> (unit -> unit) -> unit
+(** Park a continuation until the slot's migration ends. The continuation
+    must re-enter routing from scratch (the owner group has changed). *)
+
+val begin_slot_migration : t -> int -> unit
+
+val end_slot_migration : t -> int -> unit
+(** Clears the fence and releases every parked continuation, in arrival
+    order. *)
 
 val clusters : t -> Bft_core.Cluster.t array
 

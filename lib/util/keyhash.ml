@@ -1,0 +1,21 @@
+(* FNV-1a, 64-bit: tiny, seedless, and uniform enough that 64 slots split
+   uniform keys evenly. Seedless is the point — the owner of a key must
+   not depend on the experiment seed, the host, or anything else, because
+   both the shard router and the replicated KV service (slot-addressed
+   migration operations) must agree on slot membership forever. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let hash key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    key;
+  !h
+
+let slot_of_key ~slots key =
+  if slots <= 0 then invalid_arg "Keyhash.slot_of_key: slots must be positive";
+  Int64.to_int (Int64.unsigned_rem (hash key) (Int64.of_int slots))

@@ -299,6 +299,91 @@ let sharded_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
     sh_monitors = monitors;
   }
 
+(* --- mixed single-key / cross-shard transaction throughput ----------- *)
+
+type mixed_result = {
+  mx_ops_per_sec : float;
+  mx_completed : int;
+  mx_cross_committed : int;
+  mx_cross_aborted : int;
+}
+
+(* Closed-loop drivers, each a {!Bft_shard.Txn} handle: with probability
+   [cross_fraction] an operation is a two-key cross-group transaction
+   (both keys written atomically through 2PC), otherwise a plain
+   single-key put. Throughput counts completed client operations — a
+   cross-shard transaction counts once, so the ops/s axis stays comparable
+   across fractions while the 2PC overhead shows up directly. *)
+let mixed_txn_throughput ?(config = Config.make ~f:1 ()) ?(seed = 42)
+    ?(warmup = 0.5) ?(window = 1.0) ?(cal = Calibration.default)
+    ?(key_space = 4096) ~groups ~clients_per_group ~cross_fraction () =
+  let module Rig = Bft_shard.Rig in
+  let module Router = Bft_shard.Router in
+  let module Txn = Bft_shard.Txn in
+  let module Kv = Bft_services.Kv_store in
+  if cross_fraction < 0.0 || cross_fraction > 1.0 then
+    invalid_arg "mixed_txn_throughput: cross_fraction must be in [0, 1]";
+  let rig =
+    Rig.create ~cal ~seed ~groups ~config
+      ~service:(fun ~group:_ _ -> Kv.service ())
+      ()
+  in
+  let drivers =
+    List.init (groups * clients_per_group) (fun _ -> Txn.create rig)
+  in
+  let completed = ref 0 in
+  let cross_committed = ref 0 in
+  let cross_aborted = ref 0 in
+  let stagger = Rng.split (Rng.of_int seed) "stagger" in
+  List.iteri
+    (fun i driver ->
+      let keys = Rig.rng rig (Printf.sprintf "mixed%d-keys" i) in
+      let pick () = Printf.sprintf "k%04d" (Rng.int keys key_space) in
+      let rec loop () =
+        if Rng.float keys 1.0 < cross_fraction then begin
+          let k1 = pick () in
+          (* Partner key in another group when the hash allows, and always
+             a distinct key (transactions reject duplicates). *)
+          let k2 =
+            let router = Rig.router rig in
+            let g1 = Router.group_of_key router k1 in
+            let rec find tries =
+              let cand = pick () in
+              if
+                (not (String.equal cand k1))
+                && (Router.group_of_key router cand <> g1 || tries >= 8)
+              then cand
+              else find (tries + 1)
+            in
+            find 0
+          in
+          Txn.exec driver
+            [ Kv.Put (k1, "v"); Kv.Put (k2, "v") ]
+            (fun outcome ->
+              incr completed;
+              (match outcome with
+              | Txn.Committed -> incr cross_committed
+              | Txn.Aborted _ -> incr cross_aborted);
+              loop ())
+        end
+        else
+          Txn.invoke driver (Kv.Put (pick (), "v")) (fun _ ->
+              incr completed;
+              loop ())
+      in
+      Engine.schedule (Rig.engine rig) ~delay:(Rng.float stagger 0.1) loop)
+    drivers;
+  Engine.run ~until:warmup (Rig.engine rig);
+  let before = !completed in
+  let before_cross = (!cross_committed, !cross_aborted) in
+  Engine.run ~until:(warmup +. window) (Rig.engine rig);
+  {
+    mx_ops_per_sec = float_of_int (!completed - before) /. window;
+    mx_completed = !completed - before;
+    mx_cross_committed = !cross_committed - fst before_cross;
+    mx_cross_aborted = !cross_aborted - snd before_cross;
+  }
+
 let norep_throughput ?(seed = 42) ?(warmup = 0.5) ?(window = 1.0) ?(retry = false)
     ~arg ~res ~clients () =
   let engine, server, client_list =

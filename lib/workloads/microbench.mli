@@ -144,6 +144,36 @@ val sharded_throughput :
     [health] (default false), a monitor is attached per group before any
     client starts; results are bit-identical either way. *)
 
+type mixed_result = {
+  mx_ops_per_sec : float;
+      (** virtual time; a cross-shard transaction counts as one op *)
+  mx_completed : int;
+  mx_cross_committed : int;
+  mx_cross_aborted : int;
+}
+
+val mixed_txn_throughput :
+  ?config:Bft_core.Config.t ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?window:float ->
+  ?cal:Bft_sim.Calibration.t ->
+  ?key_space:int ->
+  groups:int ->
+  clients_per_group:int ->
+  cross_fraction:float ->
+  unit ->
+  mixed_result
+(** Mixed single-key / cross-shard workload against a sharded deployment:
+    [groups * clients_per_group] closed-loop {!Bft_shard.Txn} handles each
+    issue, with probability [cross_fraction], a two-key cross-group atomic
+    transaction (2PC through the decision group), and otherwise a plain
+    single-key put. Throughput counts completed client operations, so the
+    axis is comparable across fractions and the 2PC cost (two replicated
+    rounds per participant plus the decision-group serialization) shows up
+    directly. Raises [Invalid_argument] unless
+    [0 <= cross_fraction <= 1]. *)
+
 val norep_throughput :
   ?seed:int ->
   ?warmup:float ->

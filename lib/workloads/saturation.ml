@@ -47,6 +47,15 @@ type rotating_row = {
   ro_wall_s : float;
 }
 
+type cross_row = {
+  cx_fraction : float;
+  cx_ops_per_sec : float;
+  cx_completed : int;
+  cx_cross_committed : int;
+  cx_cross_aborted : int;
+  cx_wall_s : float;
+}
+
 type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
 
 type t = {
@@ -57,6 +66,7 @@ type t = {
   curve : point list;
   scaling : scale_point list;
   rotating : rotating_row;
+  cross_shard : cross_row list;
   health : health_row list;
 }
 
@@ -81,6 +91,14 @@ let scaling_clients_per_group ~quick = if quick then 12 else 16
    same-client-count footnote on the single-primary curve. *)
 let rotating_clients = 256
 let rotating_epoch_length = 4
+
+(* The cross-shard transaction cost axis: the mixed workload at increasing
+   cross-shard fractions on a fixed 2-group deployment. Fraction 0.0 is the
+   plain sharded baseline through the transaction layer, so the marginal
+   cost of 2PC reads straight off the row deltas. *)
+let cross_fractions = [ 0.0; 0.1; 0.3 ]
+let cross_groups = 2
+let cross_clients_per_group ~quick = if quick then 8 else 12
 
 let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false)
     ?(cal = Bft_sim.Calibration.default) () =
@@ -227,11 +245,43 @@ let run ?(quick = false) ?(seed = 42) ?(max_groups = 4) ?(health = false)
       ro_wall_s = Unix.gettimeofday () -. t0;
     }
   in
+  (* Cross-shard transaction cost: fresh rigs of their own, after every
+     golden section, so the pre-existing virtual surface is untouched. *)
+  let cross_shard =
+    List.map
+      (fun fraction ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Microbench.mixed_txn_throughput ~seed ~window ~cal
+            ~groups:cross_groups
+            ~clients_per_group:(cross_clients_per_group ~quick)
+            ~cross_fraction:fraction ()
+        in
+        {
+          cx_fraction = fraction;
+          cx_ops_per_sec = r.Microbench.mx_ops_per_sec;
+          cx_completed = r.Microbench.mx_completed;
+          cx_cross_committed = r.Microbench.mx_cross_committed;
+          cx_cross_aborted = r.Microbench.mx_cross_aborted;
+          cx_wall_s = Unix.gettimeofday () -. t0;
+        })
+      cross_fractions
+  in
   (* Health rows are thunks so each summary reflects the monitor's final
      state (registration order = run order). *)
   let health = List.rev_map (fun (_, row) -> row ()) !health_rows in
   let cost_profile = Bft_sim.Calibration.name cal in
-  { seed; quick; cost_profile; micro; curve; scaling; rotating; health }
+  {
+    seed;
+    quick;
+    cost_profile;
+    micro;
+    curve;
+    scaling;
+    rotating;
+    cross_shard;
+    health;
+  }
 
 let health_alerts t =
   List.fold_left (fun acc h -> acc + h.hl_alerts) 0 t.health
@@ -363,6 +413,13 @@ let to_json t =
   buf_addf buf ",\"wall_s\":%.3f}" t.rotating.ro_wall_s;
   buf_addf buf ",\"rotating_sim_rps\":%.0f,\"rotating_speedup\":%.2f"
     (rotating_sim_rps t) (rotating_speedup t);
+  Buffer.add_string buf ",\"cross_shard\":";
+  json_list buf t.cross_shard (fun buf c ->
+      buf_addf buf "\"cost_profile\":%S," t.cost_profile;
+      buf_addf buf
+        "\"cross_fraction\":%.2f,\"groups\":%d,\"ops_per_sec\":%.1f,\"completed\":%d,\"cross_committed\":%d,\"cross_aborted\":%d,\"wall_s\":%.3f"
+        c.cx_fraction cross_groups c.cx_ops_per_sec c.cx_completed
+        c.cx_cross_committed c.cx_cross_aborted c.cx_wall_s);
   buf_addf buf ",\"batched_sim_rps\":%.0f}\n" (batched_sim_rps t);
   Buffer.contents buf
 
@@ -412,6 +469,19 @@ let print t =
      vs %8.1f single-primary (%.2fx)  [%.2fs wall]\n"
     r.ro_epoch_length r.ro_clients r.ro_ops_per_sec r.ro_single_ops_per_sec
     r.ro_speedup r.ro_wall_s;
+  Printf.printf
+    "cross-shard transactions (%d groups, %d clients/group, txn layer):\n"
+    cross_groups
+    (cross_clients_per_group ~quick:t.quick);
+  List.iter
+    (fun c ->
+      Printf.printf
+        "  %.0f%% cross: %8.1f ops/s virtual  (%5d completed, %d cross \
+         committed, %d aborted)  [%.2fs wall]\n"
+        (100.0 *. c.cx_fraction)
+        c.cx_ops_per_sec c.cx_completed c.cx_cross_committed c.cx_cross_aborted
+        c.cx_wall_s)
+    t.cross_shard;
   Printf.printf "batched wall-clock throughput: %.0f simulated requests/s\n"
     (batched_sim_rps t);
   if t.health <> [] then begin

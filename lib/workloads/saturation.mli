@@ -58,6 +58,21 @@ type rotating_row = {
   ro_wall_s : float;  (** wall clock, both runs *)
 }
 
+(** One row of the cross-shard transaction cost axis: the mixed workload
+    ({!Microbench.mixed_txn_throughput}) on a fixed 2-group deployment at
+    one cross-shard fraction. Fraction 0.0 is the plain sharded baseline
+    through the transaction layer, so row deltas isolate the marginal 2PC
+    cost. Reported only in {!to_json} / {!print} — not part of the golden
+    virtual surface. *)
+type cross_row = {
+  cx_fraction : float;
+  cx_ops_per_sec : float;  (** virtual time; one txn counts as one op *)
+  cx_completed : int;
+  cx_cross_committed : int;
+  cx_cross_aborted : int;
+  cx_wall_s : float;  (** wall clock *)
+}
+
 (** One health-monitor summary row (a micro shape, a curve point, or a
     scaling sweep's fleet rollup). *)
 type health_row = { hl_label : string; hl_alerts : int; hl_line : string }
@@ -72,6 +87,7 @@ type t = {
   curve : point list;
   scaling : scale_point list;
   rotating : rotating_row;
+  cross_shard : cross_row list;
   health : health_row list;  (** empty unless [run ~health:true] *)
 }
 

@@ -98,6 +98,232 @@ let test_kv_dirty_tracking () =
   svc.Service.checkpoint_taken ();
   check Alcotest.int "reset" 0 (svc.Service.modified_since_checkpoint ())
 
+let test_kv_delete_missing_not_dirty () =
+  (* Regression: deleting an absent key used to count as a mutation, so a
+     no-op churned checkpoint state. Only actual mutations may bump the
+     dirty counter. *)
+  let svc = Kv.service () in
+  (match exec svc (Kv.Delete "never-existed") with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "delete of missing key");
+  check Alcotest.int "no-op delete leaves store clean" 0
+    (svc.Service.modified_since_checkpoint ());
+  ignore (exec svc (Kv.Put ("k", "v")));
+  let after_put = svc.Service.modified_since_checkpoint () in
+  check Alcotest.bool "real put is dirty" true (after_put > 0);
+  ignore (exec svc (Kv.Delete "k"));
+  check Alcotest.bool "real delete is dirty" true
+    (svc.Service.modified_since_checkpoint () > after_put)
+
+let with_trailing_byte p = Payload.of_string (p.Payload.data ^ "\x00")
+
+let test_kv_codec_strictness () =
+  (* Regression: the decoders used to accept payloads with trailing bytes,
+     so two distinct wire strings could decode to the same operation. *)
+  let ops =
+    [
+      Kv.Put ("k", "v");
+      Kv.Get "k";
+      Kv.Prepare
+        {
+          txn = "t1";
+          decision = 0;
+          participants = [ 0; 1 ];
+          ops = [ Kv.Put ("a", "1"); Kv.Delete "b" ];
+        };
+      Kv.Snapshot_slot { slot = 3; slots = 64 };
+    ]
+  in
+  List.iter
+    (fun op ->
+      let p = Kv.op_payload op in
+      (match Kv.op_of_payload p with
+      | Some op' when op' = op -> ()
+      | _ -> Alcotest.fail "clean op payload must decode to itself");
+      match Kv.op_of_payload (with_trailing_byte p) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "trailing garbage accepted on op")
+    ops;
+  List.iter
+    (fun result ->
+      let p = Kv.result_payload result in
+      (match Kv.result_of_payload p with
+      | r when r = result -> ()
+      | _ -> Alcotest.fail "clean result payload must decode to itself");
+      match Kv.result_of_payload (with_trailing_byte p) with
+      | Kv.Error "undecodable result" -> ()
+      | _ -> Alcotest.fail "trailing garbage accepted on result")
+    [
+      Kv.Stored;
+      Kv.Value (Some "v");
+      Kv.Prepared true;
+      Kv.Bindings [ ("a", "1") ];
+      Kv.Txn_state { state = Kv.txn_prepared; participants = [ 0; 1 ] };
+    ]
+
+let test_kv_txn_semantics () =
+  let svc = Kv.service () in
+  ignore (exec svc (Kv.Put ("a", "old")));
+  let prepare =
+    Kv.Prepare
+      {
+        txn = "t1";
+        decision = 0;
+        participants = [ 0; 1 ];
+        ops = [ Kv.Put ("a", "new"); Kv.Put ("b", "fresh") ];
+      }
+  in
+  (match exec svc prepare with
+  | Kv.Prepared true, _ -> ()
+  | _ -> Alcotest.fail "prepare must vote yes");
+  (match exec svc prepare with
+  | Kv.Prepared true, _ -> ()
+  | _ -> Alcotest.fail "re-prepare of own txn must stay yes");
+  (* Locked keys refuse single-key writes, naming the lock holder. *)
+  (match exec svc (Kv.Put ("a", "sneak")) with
+  | Kv.Error "locked:0:t1", _ -> ()
+  | _ -> Alcotest.fail "locked key must reject writes with holder info");
+  (* ... and a conflicting transaction's prepare votes no. *)
+  (match
+     exec svc
+       (Kv.Prepare
+          {
+            txn = "t2";
+            decision = 0;
+            participants = [ 0 ];
+            ops = [ Kv.Delete "b" ];
+          })
+   with
+  | Kv.Prepared false, _ -> ()
+  | _ -> Alcotest.fail "conflicting prepare must vote no");
+  (match exec svc (Kv.Txn_status "t1") with
+  | Kv.Txn_state { state; participants }, _
+    when state = Kv.txn_prepared && participants = [ 0; 1 ] -> ()
+  | _ -> Alcotest.fail "status of prepared txn");
+  (match exec svc (Kv.Commit "t1") with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "commit");
+  (match exec svc (Kv.Get "a") with
+  | Kv.Value (Some "new"), _ -> ()
+  | _ -> Alcotest.fail "committed write visible");
+  (match exec svc (Kv.Put ("a", "unlocked")) with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "commit must release locks");
+  (match exec svc (Kv.Commit "t1") with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "commit is idempotent");
+  (match exec svc (Kv.Abort "t1") with
+  | Kv.Error "committed", _ -> ()
+  | _ -> Alcotest.fail "abort after commit must report the decision");
+  (* Presumed abort: aborting an unknown transaction records the decision,
+     so its late prepare votes no and its commit fails. *)
+  (match exec svc (Kv.Abort "late") with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "abort of unknown txn");
+  (match
+     exec svc
+       (Kv.Prepare
+          {
+            txn = "late";
+            decision = 0;
+            participants = [ 0 ];
+            ops = [ Kv.Put ("c", "x") ];
+          })
+   with
+  | Kv.Prepared false, _ -> ()
+  | _ -> Alcotest.fail "late prepare after abort must vote no");
+  match exec svc (Kv.Commit "late") with
+  | Kv.Error "aborted", _ -> ()
+  | _ -> Alcotest.fail "commit after abort must fail"
+
+let test_kv_prepare_undo_byte_identical () =
+  (* Tentative execution: undoing a prepare must leave the snapshot — and
+     so the checkpoint digest — byte-identical, including falling back to
+     the legacy (pre-transaction) encoding. *)
+  let svc = Kv.service () in
+  ignore (exec svc (Kv.Put ("a", "1")));
+  let before = svc.Service.snapshot () in
+  let _, undo =
+    exec svc
+      (Kv.Prepare
+         {
+           txn = "tmp";
+           decision = 0;
+           participants = [ 0 ];
+           ops = [ Kv.Put ("a", "2") ];
+         })
+  in
+  undo ();
+  check Alcotest.bool "snapshot bytes identical after undo" true
+    (Payload.equal before (svc.Service.snapshot ()))
+
+let test_kv_txn_snapshot_restore () =
+  (* A store carrying live transaction state (locks + decisions) must
+     survive a snapshot/restore round-trip digest-exact. *)
+  let svc = Kv.service () in
+  ignore (exec svc (Kv.Put ("a", "1")));
+  ignore
+    (exec svc
+       (Kv.Prepare
+          {
+            txn = "t1";
+            decision = 0;
+            participants = [ 0; 1 ];
+            ops = [ Kv.Put ("b", "2") ];
+          }));
+  ignore (exec svc (Kv.Abort "old"));
+  let svc2 = Kv.service () in
+  svc2.Service.restore (svc.Service.snapshot ());
+  check Alcotest.bool "digest equal" true
+    (Fingerprint.equal (svc.Service.state_digest ()) (svc2.Service.state_digest ()));
+  (* The restored replica agrees on lock state and decisions. *)
+  (match exec svc2 (Kv.Put ("b", "sneak")) with
+  | Kv.Error "locked:0:t1", _ -> ()
+  | _ -> Alcotest.fail "restored lock must hold");
+  match exec svc2 (Kv.Commit "old") with
+  | Kv.Error "aborted", _ -> ()
+  | _ -> Alcotest.fail "restored decision must hold"
+
+let test_kv_migration_ops () =
+  let slots = 8 in
+  let svc = Kv.service () in
+  ignore (exec svc (Kv.Put ("m1", "v1")));
+  let slot = Bft_util.Keyhash.slot_of_key ~slots "m1" in
+  (match exec svc (Kv.Snapshot_slot { slot; slots }) with
+  | Kv.Bindings [ ("m1", "v1") ], _ -> ()
+  | _ -> Alcotest.fail "snapshot returns the slot's bindings");
+  (* A locked key in the slot makes the donor refuse the snapshot. *)
+  let _, unlock =
+    exec svc
+      (Kv.Prepare
+         {
+           txn = "mig";
+           decision = 0;
+           participants = [ 0 ];
+           ops = [ Kv.Put ("m1", "v2") ];
+         })
+  in
+  (match exec svc (Kv.Snapshot_slot { slot; slots }) with
+  | Kv.Error "locked", _ -> ()
+  | _ -> Alcotest.fail "snapshot must refuse a locked slot");
+  unlock ();
+  (* Install at a new owner, then retire the donor's copy. *)
+  let taker = Kv.service () in
+  (match
+     exec taker (Kv.Install { slot; slots; bindings = [ ("m1", "v1") ] })
+   with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "install");
+  (match exec taker (Kv.Get "m1") with
+  | Kv.Value (Some "v1"), _ -> ()
+  | _ -> Alcotest.fail "installed binding readable");
+  (match exec svc (Kv.Drop_slot { slot; slots }) with
+  | Kv.Stored, _ -> ()
+  | _ -> Alcotest.fail "drop");
+  match exec svc (Kv.Get "m1") with
+  | Kv.Value None, _ -> ()
+  | _ -> Alcotest.fail "donor copy retired"
+
 let kv_roundtrip_prop =
   let op_gen =
     QCheck.Gen.(
@@ -122,6 +348,51 @@ let kv_roundtrip_prop =
       match Kv.result_of_payload (fst (svc.Bft_core.Service.execute ~client:0 ~op:p)) with
       | Kv.Error _ -> false
       | _ -> true)
+
+let kv_txn_codec_prop =
+  (* Exact structural round-trip over the full operation space, including
+     the transaction and migration variants with their nested write
+     lists. *)
+  let short = QCheck.Gen.(string_size (int_bound 12)) in
+  let write_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun k v -> Kv.Put (k, v)) short short;
+          map (fun k -> Kv.Delete k) short;
+          map3
+            (fun key e u -> Kv.Cas { key; expected = e; update = u })
+            short (option short) short;
+        ])
+  in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun k -> Kv.Get k) short;
+          write_gen;
+          map3
+            (fun txn (decision, participants) ops ->
+              Kv.Prepare { txn; decision; participants; ops })
+            short
+            (pair (int_bound 7) (list_size (int_bound 4) (int_bound 7)))
+            (list_size (int_bound 4) write_gen);
+          map (fun t -> Kv.Commit t) short;
+          map (fun t -> Kv.Abort t) short;
+          map (fun t -> Kv.Txn_status t) short;
+          map
+            (fun slot -> Kv.Snapshot_slot { slot; slots = 64 })
+            (int_bound 63);
+          map2
+            (fun slot bindings -> Kv.Install { slot; slots = 64; bindings })
+            (int_bound 63)
+            (list_size (int_bound 4) (pair short short));
+          map (fun slot -> Kv.Drop_slot { slot; slots = 64 }) (int_bound 63);
+        ])
+  in
+  QCheck.Test.make ~name:"kv txn/migration ops roundtrip exactly" ~count:300
+    (QCheck.make op_gen) (fun op ->
+      Kv.op_of_payload (Kv.op_payload op) = Some op)
 
 let test_counter_semantics () =
   let svc = Counter.service () in
@@ -173,7 +444,22 @@ let () =
           Alcotest.test_case "read-only classification" `Quick test_kv_read_only;
           Alcotest.test_case "undecodable op" `Quick test_kv_undecodable_op;
           Alcotest.test_case "dirty tracking" `Quick test_kv_dirty_tracking;
+          Alcotest.test_case "delete of missing key is clean" `Quick
+            test_kv_delete_missing_not_dirty;
+          Alcotest.test_case "codec rejects trailing bytes" `Quick
+            test_kv_codec_strictness;
           q kv_roundtrip_prop;
+          q kv_txn_codec_prop;
+        ] );
+      ( "kv-txn",
+        [
+          Alcotest.test_case "prepare/commit/abort semantics" `Quick
+            test_kv_txn_semantics;
+          Alcotest.test_case "prepare undo is byte-identical" `Quick
+            test_kv_prepare_undo_byte_identical;
+          Alcotest.test_case "txn state snapshot/restore" `Quick
+            test_kv_txn_snapshot_restore;
+          Alcotest.test_case "migration ops" `Quick test_kv_migration_ops;
         ] );
       ( "counter",
         [

@@ -88,6 +88,78 @@ let test_router_key_tally () =
       check Alcotest.bool (Printf.sprintf "group %d owns some keys" g) true (c > 0))
     counts
 
+(* Reference implementation of the pre-optimization [extend]: rescan the
+   whole mapping for the donor's last slot on every move (O(slots^2)). The
+   optimized planner must produce byte-identical mappings — resharding
+   plans are part of deployed behaviour, so the speedup must not move a
+   single slot. *)
+let reference_extend ~from_groups ~to_groups mapping0 =
+  let mapping = Array.copy mapping0 in
+  if to_groups = from_groups then mapping
+  else begin
+  let counts = Array.make to_groups 0 in
+  Array.iter (fun g -> counts.(g) <- counts.(g) + 1) mapping;
+  let donor () =
+    let best = ref 0 in
+    for g = 1 to from_groups - 1 do
+      if counts.(g) > counts.(!best) then best := g
+    done;
+    !best
+  in
+  let next_slot_of group =
+    let found = ref (-1) in
+    Array.iteri (fun s g -> if g = group then found := s) mapping;
+    !found
+  in
+  let continue = ref true in
+  while !continue do
+    let taker = ref from_groups in
+    for g = to_groups - 1 downto from_groups do
+      if counts.(g) <= counts.(!taker) then taker := g
+    done;
+    let from = donor () in
+    if counts.(from) > counts.(!taker) + 1 then begin
+      let s = next_slot_of from in
+      mapping.(s) <- !taker;
+      counts.(from) <- counts.(from) - 1;
+      counts.(!taker) <- counts.(!taker) + 1
+    end
+    else continue := false
+  done;
+  mapping
+  end
+
+let test_extend_matches_reference () =
+  List.iter
+    (fun (slots, from_groups, to_groups) ->
+      let r = Router.create ~slots ~groups:from_groups () in
+      check
+        (Alcotest.array Alcotest.int)
+        (Printf.sprintf "extend %d->%d over %d slots identical" from_groups
+           to_groups slots)
+        (reference_extend ~from_groups ~to_groups (Router.mapping r))
+        (Router.mapping (Router.extend r ~groups:to_groups)))
+    [
+      (64, 1, 2);
+      (64, 2, 3);
+      (64, 2, 4);
+      (64, 3, 8);
+      (64, 4, 4);
+      (8, 2, 5);
+      (200, 3, 7);
+      (512, 1, 16);
+    ]
+
+let extend_matches_reference_prop =
+  QCheck.Test.make ~name:"extend matches the O(slots^2) reference" ~count:200
+    QCheck.(triple (int_range 4 128) (int_range 1 4) (int_range 0 4))
+    (fun (slots, from_groups, extra) ->
+      QCheck.assume (slots >= from_groups + extra);
+      let r = Router.create ~slots ~groups:from_groups () in
+      let to_groups = from_groups + extra in
+      reference_extend ~from_groups ~to_groups (Router.mapping r)
+      = Router.mapping (Router.extend r ~groups:to_groups))
+
 (* --- fault confinement ------------------------------------------------ *)
 
 (* Same check as Harness.check_agreement, per group: correct replicas of one
@@ -185,6 +257,94 @@ let test_proxy_routing () =
         (Proxy.completed proxy).(g))
     expect
 
+let test_proxy_backoff_streams_distinct () =
+  (* Regression: backoff jitter used to be labelled by the first group's
+     client id, which is a per-rig constant in spirit — the label must be
+     the per-proxy ordinal so no two proxies share a jitter stream. *)
+  let config = Config.make ~f:1 () in
+  let rig =
+    Rig.create ~seed:31 ~groups:2 ~config
+      ~service:(fun ~group:_ _ -> Kv.service ())
+      ()
+  in
+  let a = Proxy.create rig in
+  let b = Proxy.create rig in
+  check Alcotest.int "first proxy gets ordinal 0" 0 (Proxy.ordinal a);
+  check Alcotest.int "second proxy gets ordinal 1" 1 (Proxy.ordinal b);
+  (* Pin the labelling scheme: the stream is the pure fork of
+     "proxy.backoff.<ordinal>", so an independent fork of the same label
+     replays it draw for draw. *)
+  let expected ordinal =
+    let rng = Rig.fork_rng rig (Printf.sprintf "proxy.backoff.%d" ordinal) in
+    List.init 6 (fun attempt ->
+        Client.retry_backoff ~base:config.Config.client_retry_timeout ~cap:64.0
+          ~rng ~attempt)
+  in
+  let drawn proxy = List.init 6 (fun attempt -> Proxy.next_backoff proxy ~attempt) in
+  let sa = drawn a and sb = drawn b in
+  check (Alcotest.list (Alcotest.float 0.0)) "proxy 0 stream pinned"
+    (expected 0) sa;
+  check (Alcotest.list (Alcotest.float 0.0)) "proxy 1 stream pinned"
+    (expected 1) sb;
+  check Alcotest.bool "the two proxies' backoff sequences differ" true
+    (sa <> sb)
+
+let test_proxy_shed_accounting () =
+  (* Regression: the proxy used to count every rejected *attempt* in its
+     shed tally, so one operation retried twice showed up as three sheds
+     and the figure could not be compared to the clients' own per-operation
+     rejection counts. [sheds] must count operations; [shed_attempts]
+     keeps the attempt-granularity view. *)
+  (* One request in flight, one queued, everything else shed — and
+     [shed_retry_budget 0] pushes every Busy reply straight through the
+     client to the proxy, so the proxy's own retry layer is what gets
+     exercised. *)
+  let config =
+    Config.make ~f:1 ~admission_queue_limit:1 ~shed_policy:Config.Reject_new
+      ~shed_retry_budget:0 ~batch_window:1 ~max_batch_requests:1 ()
+  in
+  let rig =
+    Rig.create ~seed:37 ~groups:1 ~config
+      ~service:(fun ~group:_ _ -> Kv.service ())
+      ()
+  in
+  let proxies = Array.init 24 (fun _ -> Proxy.create ~retry_budget:2 rig) in
+  let ops_per_proxy = 30 in
+  let stored = ref 0 and busy = ref 0 in
+  Array.iteri
+    (fun i proxy ->
+      let rec loop k =
+        if k > 0 then
+          Proxy.invoke proxy
+            (Kv.Put (Printf.sprintf "p%d-%d" i k, "v"))
+            (fun o ->
+              (match o.Proxy.result with
+              | Kv.Stored -> incr stored
+              | Kv.Error "busy" -> incr busy
+              | _ -> Alcotest.fail "unexpected result");
+              loop (k - 1))
+      in
+      loop ops_per_proxy)
+    proxies;
+  Rig.run ~until:120.0 rig;
+  let sum f = Array.fold_left (fun acc p -> acc + f p) 0 proxies in
+  let sum_arr f =
+    Array.fold_left (fun acc p -> acc + Array.fold_left ( + ) 0 (f p)) 0 proxies
+  in
+  check Alcotest.int "every operation resolved"
+    (Array.length proxies * ops_per_proxy)
+    (!stored + !busy);
+  check Alcotest.bool "overload actually produced rejections" true
+    (sum Proxy.total_shed_attempts > 0);
+  (* The operation-granularity tally is exactly the busy completions. *)
+  check Alcotest.int "sheds count operations, not attempts" !busy
+    (sum Proxy.total_sheds);
+  (* Attempt ledger: every rejected attempt either spent a retry or ended
+     its operation. *)
+  check Alcotest.int "attempt ledger exact"
+    (sum Proxy.total_shed_attempts)
+    (sum Proxy.total_sheds + sum_arr Proxy.shed_retries)
+
 (* --- sharded throughput driver ---------------------------------------- *)
 
 let test_sharded_throughput_deterministic () =
@@ -215,11 +375,18 @@ let () =
           Alcotest.test_case "balance" `Quick test_router_balance;
           Alcotest.test_case "validation" `Quick test_router_validation;
           Alcotest.test_case "key tally" `Quick test_router_key_tally;
+          Alcotest.test_case "extend matches reference" `Quick
+            test_extend_matches_reference;
+          q extend_matches_reference_prop;
         ] );
       ( "deployment",
         [
           Alcotest.test_case "fault confinement" `Quick test_fault_confinement;
           Alcotest.test_case "proxy routing" `Quick test_proxy_routing;
+          Alcotest.test_case "proxy backoff streams distinct" `Quick
+            test_proxy_backoff_streams_distinct;
+          Alcotest.test_case "proxy shed accounting" `Quick
+            test_proxy_shed_accounting;
           Alcotest.test_case "sharded throughput deterministic" `Quick
             test_sharded_throughput_deterministic;
         ] );
